@@ -1,0 +1,96 @@
+#include "common.hpp"
+
+#include <stdexcept>
+
+namespace gcnrl::bench {
+
+rl::RunResult run_optimizer_timed(env::SizingEnv& env, opt::Optimizer& opt,
+                                  int steps, double seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  rl::RunResult out;
+  int done = 0;
+  while (done < steps) {
+    if (seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (elapsed > seconds) break;
+    }
+    const auto xs = opt.ask();
+    std::vector<double> ys;
+    ys.reserve(xs.size());
+    for (const auto& x : xs) {
+      const env::EvalResult r = env.step_flat(x);
+      ys.push_back(r.fom);
+      if (r.fom > out.best_fom) {
+        out.best_actions = env.bench().space.unflatten(x);
+        out.best_metrics = r.metrics;
+      }
+      out.record(r.fom);
+      if (++done >= steps) break;
+    }
+    std::vector<std::vector<double>> xs_done(xs.begin(),
+                                             xs.begin() + ys.size());
+    opt.tell(xs_done, ys);
+  }
+  return out;
+}
+
+MethodRun run_method(const std::string& method, const EnvFactory& factory,
+                     int steps, int warmup, std::uint64_t seed,
+                     double rl_seconds, const rl::DdpgConfig& base_cfg) {
+  auto env = factory.make();
+  Rng rng(seed);
+  const auto t0 = std::chrono::steady_clock::now();
+  MethodRun out;
+
+  if (method == "Random") {
+    out.result = rl::run_random(*env, steps, rng);
+  } else if (method == "ES") {
+    opt::CmaEs es(env->flat_dim(), rng);
+    out.result = rl::run_optimizer(*env, es, steps);
+  } else if (method == "BO") {
+    opt::BayesOpt bo(env->flat_dim(), rng);
+    out.result = run_optimizer_timed(*env, bo, steps, rl_seconds);
+  } else if (method == "MACE") {
+    opt::Mace mace(env->flat_dim(), rng);
+    out.result = run_optimizer_timed(*env, mace, steps, rl_seconds);
+  } else if (method == "NG-RL" || method == "GCN-RL") {
+    rl::DdpgConfig cfg = base_cfg;
+    cfg.use_gcn = method == "GCN-RL";
+    cfg.warmup = warmup;
+    rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(), cfg,
+                        rng);
+    out.result = rl::run_ddpg(*env, agent, steps);
+  } else {
+    throw std::invalid_argument("run_method: unknown method " + method);
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+SweepResult sweep(const std::string& method, const EnvFactory& factory,
+                  int steps, int warmup, int seeds, double rl_seconds,
+                  const rl::DdpgConfig& base_cfg) {
+  SweepResult out;
+  for (int s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = 1000 + 7919 * static_cast<std::uint64_t>(s);
+    MethodRun run = run_method(method, factory, steps, warmup, seed,
+                               rl_seconds, base_cfg);
+    out.best.push_back(run.result.best_fom);
+    out.traces.push_back(std::move(run.result.best_trace));
+    out.rl_seconds += run.seconds / seeds;
+  }
+  out.mean = la::mean(out.best);
+  out.stddev = la::stddev(out.best);
+  return out;
+}
+
+std::string pm(double mean, double stddev, int precision) {
+  return TextTable::num(mean, precision) + " +/- " +
+         TextTable::num(stddev, 2);
+}
+
+}  // namespace gcnrl::bench

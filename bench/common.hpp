@@ -1,0 +1,92 @@
+// Shared machinery for the table/figure benchmark harnesses.
+//
+// Provides the method registry of Table I (Random / ES / BO / MACE /
+// NG-RL / GCN-RL + the human anchor), seed sweeps with mean +/- std
+// aggregation, and the paper's runtime-matching rule for the O(N^3) BO
+// methods ("for BO and MACE it is impossible to run 10000 steps ... we
+// ran them for the same runtime"): BO/MACE runs stop at the wall-clock
+// budget of the corresponding RL run if they have not exhausted their
+// step budget first.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/benchmark_circuits.hpp"
+#include "common/envcfg.hpp"
+#include "common/table.hpp"
+#include "la/stats.hpp"
+#include "opt/bayes_opt.hpp"
+#include "opt/cma_es.hpp"
+#include "opt/mace.hpp"
+#include "opt/random_search.hpp"
+#include "rl/run_loop.hpp"
+
+namespace gcnrl::bench {
+
+inline const std::vector<std::string> kMethods = {
+    "Random", "ES", "BO", "MACE", "NG-RL", "GCN-RL"};
+
+// A calibrated environment factory: builds fresh envs for a circuit while
+// sharing one FoM calibration (normalizers must be identical across
+// methods for the comparison to be meaningful).
+class EnvFactory {
+ public:
+  EnvFactory(std::string circuit_name, const circuit::Technology& tech,
+             env::IndexMode mode, int calib_samples, Rng& rng)
+      : name_(std::move(circuit_name)), tech_(tech), mode_(mode) {
+    env::SizingEnv probe(circuits::make_benchmark(name_, tech_), mode_);
+    probe.calibrate(calib_samples, rng);
+    fom_ = probe.bench().fom;
+  }
+
+  [[nodiscard]] std::unique_ptr<env::SizingEnv> make() const {
+    auto bc = circuits::make_benchmark(name_, tech_);
+    bc.fom = fom_;
+    return std::make_unique<env::SizingEnv>(std::move(bc), mode_);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const env::FomSpec& fom() const { return fom_; }
+
+ private:
+  std::string name_;
+  circuit::Technology tech_;
+  env::IndexMode mode_;
+  env::FomSpec fom_;
+};
+
+// Timed wrapper around run_optimizer: stops early once `seconds` elapse.
+rl::RunResult run_optimizer_timed(env::SizingEnv& env, opt::Optimizer& opt,
+                                  int steps, double seconds);
+
+struct MethodRun {
+  rl::RunResult result;
+  double seconds = 0.0;
+};
+
+// One (method, seed) run. `rl_seconds` is the wall-clock of the matching
+// RL run used as the BO/MACE runtime budget (<=0: no cap).
+MethodRun run_method(const std::string& method, const EnvFactory& factory,
+                     int steps, int warmup, std::uint64_t seed,
+                     double rl_seconds, const rl::DdpgConfig& base_cfg = {});
+
+// Seed sweep: returns best-FoM per seed plus the traces.
+struct SweepResult {
+  std::vector<double> best;             // per seed
+  std::vector<std::vector<double>> traces;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double rl_seconds = 0.0;  // mean runtime (only filled for RL methods)
+};
+SweepResult sweep(const std::string& method, const EnvFactory& factory,
+                  int steps, int warmup, int seeds, double rl_seconds,
+                  const rl::DdpgConfig& base_cfg = {});
+
+// "mean +/- std" cell formatting used by all tables.
+std::string pm(double mean, double stddev, int precision = 3);
+
+}  // namespace gcnrl::bench

@@ -1,0 +1,59 @@
+// google-benchmark microbenchmarks for the NN/RL substrate: GCN
+// forward/backward and one full DDPG update at the agent's real sizes.
+#include <benchmark/benchmark.h>
+
+#include "circuits/benchmark_circuits.hpp"
+#include "env/sizing_env.hpp"
+#include "rl/ddpg.hpp"
+
+using namespace gcnrl;
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  la::Mat a(n, n), b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.uniform(-1, 1);
+      b(i, j) = rng.uniform(-1, 1);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2l * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ActorForward(benchmark::State& state) {
+  const auto tech = circuit::make_technology("180nm");
+  env::SizingEnv env(circuits::make_three_tia(tech));
+  rl::DdpgConfig cfg;
+  Rng rng(2);
+  rl::DdpgAgent agent(env.state(), env.adjacency(), env.kinds(), cfg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act().data());
+  }
+}
+BENCHMARK(BM_ActorForward);
+
+void BM_DdpgEpisodeWithUpdates(benchmark::State& state) {
+  const auto tech = circuit::make_technology("180nm");
+  env::SizingEnv env(circuits::make_three_tia(tech));
+  rl::DdpgConfig cfg;
+  cfg.warmup = 4;  // go straight to the update path
+  Rng rng(3);
+  rl::DdpgAgent agent(env.state(), env.adjacency(), env.kinds(), cfg, rng);
+  Rng reward_rng(4);
+  for (int i = 0; i < 8; ++i) {
+    agent.observe(agent.act_explore(), reward_rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    agent.observe(agent.act_explore(), reward_rng.uniform(-1.0, 1.0));
+  }
+}
+BENCHMARK(BM_DdpgEpisodeWithUpdates);
+
+}  // namespace

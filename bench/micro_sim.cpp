@@ -1,0 +1,62 @@
+// google-benchmark microbenchmarks for the simulator substrate: these
+// bound the evaluation cost that every optimization step pays.
+#include <benchmark/benchmark.h>
+
+#include "circuits/benchmark_circuits.hpp"
+#include "common/rng.hpp"
+#include "env/sizing_env.hpp"
+#include "sim/simulator.hpp"
+
+using namespace gcnrl;
+
+namespace {
+
+const auto kTech = circuit::make_technology("180nm");
+
+void BM_DcSolve_TwoTia(benchmark::State& state) {
+  auto bc = circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  for (auto _ : state) {
+    sim::Simulator s(nl, kTech);
+    benchmark::DoNotOptimize(s.op().v[0]);
+  }
+}
+BENCHMARK(BM_DcSolve_TwoTia);
+
+void BM_AcSweep_TwoTia_97pts(benchmark::State& state) {
+  auto bc = circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::Simulator s(nl, kTech);
+  s.op();
+  const auto freqs = sim::logspace(1e3, 1e11, 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.ac(freqs).v(0, 1));
+  }
+}
+BENCHMARK(BM_AcSweep_TwoTia_97pts);
+
+void BM_FullEval(benchmark::State& state, const char* name) {
+  auto bc = circuits::make_benchmark(name, kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bc.evaluate(nl).size());
+  }
+}
+BENCHMARK_CAPTURE(BM_FullEval, two_tia, "Two-TIA");
+BENCHMARK_CAPTURE(BM_FullEval, two_volt, "Two-Volt");
+BENCHMARK_CAPTURE(BM_FullEval, three_tia, "Three-TIA");
+BENCHMARK_CAPTURE(BM_FullEval, ldo, "LDO");
+
+void BM_EnvStepRandom_TwoTia(benchmark::State& state) {
+  env::SizingEnv env(circuits::make_two_tia(kTech));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.step(env.random_actions(rng)).fom);
+  }
+}
+BENCHMARK(BM_EnvStepRandom_TwoTia);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Table I reproduction: FoM comparison of Human / Random / ES / BO / MACE
+// / NG-RL / GCN-RL on the four benchmark circuits at 180 nm.
+//
+// Paper protocol: 10 000 steps for Random/ES/NG-RL/GCN-RL, runtime-matched
+// budgets for BO/MACE, 3 runs each, FoM normalizers from 5000 random
+// samples. Scale with GCNRL_FULL=1 / GCNRL_STEPS / GCNRL_SEEDS /
+// GCNRL_CALIB (see DESIGN.md); defaults reproduce the ordering in minutes.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+
+using namespace gcnrl;
+
+namespace {
+
+// Paper Table I reference values (mean) for side-by-side comparison.
+const std::map<std::string, std::map<std::string, double>> kPaperFoM = {
+    {"Two-TIA",
+     {{"Human", 2.32}, {"Random", 2.46}, {"ES", 2.66}, {"BO", 2.48},
+      {"MACE", 2.54}, {"NG-RL", 2.59}, {"GCN-RL", 2.69}}},
+    {"Two-Volt",
+     {{"Human", 2.02}, {"Random", 1.74}, {"ES", 1.91}, {"BO", 1.85},
+      {"MACE", 1.70}, {"NG-RL", 1.98}, {"GCN-RL", 2.23}}},
+    {"Three-TIA",
+     {{"Human", 1.15}, {"Random", 0.74}, {"ES", 1.30}, {"BO", 1.24},
+      {"MACE", 1.27}, {"NG-RL", 1.39}, {"GCN-RL", 1.40}}},
+    {"LDO",
+     {{"Human", 0.61}, {"Random", 0.27}, {"ES", 0.40}, {"BO", 0.45},
+      {"MACE", 0.58}, {"NG-RL", 0.71}, {"GCN-RL", 0.79}}},
+};
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = bench_config();
+  const auto tech = circuit::make_technology("180nm");
+  Rng rng(2024);
+
+  std::printf(
+      "Table I: FoM comparison (steps=%d, warmup=%d, seeds=%d, calib=%d)\n"
+      "Paper values in [brackets]. FoM scale: ours saturates each metric\n"
+      "in [0,1] over the calibrated range; shapes, not absolutes, compare.\n\n",
+      cfg.steps, cfg.warmup, cfg.seeds, cfg.calib_samples);
+
+  TextTable table({"Method", "Two-TIA", "Two-Volt", "Three-TIA", "LDO"});
+  std::map<std::string, std::map<std::string, std::string>> cells;
+
+  for (const auto& circuit_name : circuits::benchmark_names()) {
+    bench::EnvFactory factory(circuit_name, tech, env::IndexMode::OneHot,
+                              cfg.calib_samples, rng);
+    // Human anchor.
+    {
+      auto env = factory.make();
+      const auto h = env->evaluate_params(env->bench().human_expert);
+      cells["Human"][circuit_name] =
+          TextTable::num(h.fom, 3) + " [" +
+          TextTable::num(kPaperFoM.at(circuit_name).at("Human"), 3) + "]";
+    }
+    double rl_seconds = 0.0;
+    for (const auto& method : bench::kMethods) {
+      const auto sw = bench::sweep(method, factory, cfg.steps, cfg.warmup,
+                                   cfg.seeds, rl_seconds);
+      if (method == "ES") rl_seconds = sw.rl_seconds;  // budget for BO/MACE
+      cells[method][circuit_name] =
+          bench::pm(sw.mean, sw.stddev) + " [" +
+          TextTable::num(kPaperFoM.at(circuit_name).at(method), 3) + "]";
+      std::printf("  %-10s %-9s %s\n", circuit_name.c_str(), method.c_str(),
+                  cells[method][circuit_name].c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\n");
+  for (const auto& method :
+       std::vector<std::string>{"Human", "Random", "ES", "BO", "MACE",
+                                "NG-RL", "GCN-RL"}) {
+    table.add_row({method, cells[method]["Two-TIA"],
+                   cells[method]["Two-Volt"], cells[method]["Three-TIA"],
+                   cells[method]["LDO"]});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Compare all optimization methods on one circuit with a small budget —
+// a minimal version of the Table I experiment for interactive use.
+//
+// Usage: compare_optimizers [circuit] [steps]
+//        circuit in {Two-TIA, Two-Volt, Three-TIA, LDO}; default Two-TIA.
+#include <cstdio>
+
+#include "circuits/benchmark_circuits.hpp"
+#include "common/table.hpp"
+#include "opt/bayes_opt.hpp"
+#include "opt/cma_es.hpp"
+#include "opt/mace.hpp"
+#include "rl/run_loop.hpp"
+
+using namespace gcnrl;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "Two-TIA";
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 300;
+  const auto tech = circuit::make_technology("180nm");
+
+  // One calibration shared by all methods.
+  env::SizingEnv probe(circuits::make_benchmark(name, tech));
+  Rng rng(1);
+  probe.calibrate(200, rng);
+  const env::FomSpec fom = probe.bench().fom;
+  auto fresh_env = [&] {
+    auto bc = circuits::make_benchmark(name, tech);
+    bc.fom = fom;
+    return env::SizingEnv(std::move(bc));
+  };
+
+  TextTable table({"Method", "Best FoM", "Evals"});
+  {
+    auto e = fresh_env();
+    const auto h = e.evaluate_params(e.bench().human_expert);
+    table.add_row({"Human", TextTable::num(h.fom, 3), "-"});
+  }
+  {
+    auto e = fresh_env();
+    const auto r = rl::run_random(e, steps, Rng(2));
+    table.add_row({"Random", TextTable::num(r.best_fom, 3),
+                   std::to_string(e.num_evals())});
+  }
+  {
+    auto e = fresh_env();
+    opt::CmaEs es(e.flat_dim(), Rng(3));
+    const auto r = rl::run_optimizer(e, es, steps);
+    table.add_row({"ES (CMA-ES)", TextTable::num(r.best_fom, 3),
+                   std::to_string(e.num_evals())});
+  }
+  {
+    auto e = fresh_env();
+    opt::BayesOpt bo(e.flat_dim(), Rng(4));
+    const auto r = rl::run_optimizer(e, bo, std::min(steps, 150));
+    table.add_row({"BO", TextTable::num(r.best_fom, 3),
+                   std::to_string(e.num_evals())});
+  }
+  {
+    auto e = fresh_env();
+    opt::Mace mace(e.flat_dim(), Rng(5));
+    const auto r = rl::run_optimizer(e, mace, std::min(steps, 150));
+    table.add_row({"MACE", TextTable::num(r.best_fom, 3),
+                   std::to_string(e.num_evals())});
+  }
+  for (const bool use_gcn : {false, true}) {
+    auto e = fresh_env();
+    rl::DdpgConfig cfg;
+    cfg.warmup = steps / 3;
+    cfg.use_gcn = use_gcn;
+    rl::DdpgAgent agent(e.state(), e.adjacency(), e.kinds(), cfg, Rng(6));
+    const auto r = rl::run_ddpg(e, agent, steps);
+    table.add_row({use_gcn ? "GCN-RL" : "NG-RL",
+                   TextTable::num(r.best_fom, 3),
+                   std::to_string(e.num_evals())});
+  }
+
+  std::printf("%s @ 180nm, %d evaluations (FoM max %.1f)\n\n", name.c_str(),
+              steps, fom.max_fom());
+  table.print();
+  return 0;
+}

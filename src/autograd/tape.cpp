@@ -1,0 +1,57 @@
+#include "autograd/tape.hpp"
+
+#include <stdexcept>
+
+namespace gcnrl::ag {
+
+Var Tape::input(la::Mat value) {
+  auto node = std::make_unique<Node>();
+  node->grad = la::Mat(value.rows(), value.cols());
+  node->val = std::move(value);
+  node->requires_grad = true;
+  Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return Var(this, raw);
+}
+
+Var Tape::constant(la::Mat value) {
+  auto node = std::make_unique<Node>();
+  node->grad = la::Mat(value.rows(), value.cols());
+  node->val = std::move(value);
+  node->requires_grad = false;
+  Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return Var(this, raw);
+}
+
+Var Tape::make(la::Mat value, bool requires_grad,
+               std::function<void()> pullback) {
+  auto node = std::make_unique<Node>();
+  node->grad = la::Mat(value.rows(), value.cols());
+  node->val = std::move(value);
+  node->requires_grad = requires_grad;
+  if (requires_grad) node->pullback = std::move(pullback);
+  Node* raw = node.get();
+  nodes_.push_back(std::move(node));
+  return Var(this, raw);
+}
+
+void Tape::backward(const Var& root) {
+  if (root.tape() != this) {
+    throw std::invalid_argument("Tape::backward: var from another tape");
+  }
+  if (root.rows() != 1 || root.cols() != 1) {
+    throw std::invalid_argument("Tape::backward: root must be a 1x1 scalar");
+  }
+  root.node()->grad(0, 0) = 1.0;
+  // Creation order is a valid topological order: every node's parents were
+  // created before it, so a reverse sweep sees each child before parents.
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    Node* n = it->get();
+    if (n->requires_grad && n->pullback) n->pullback();
+  }
+}
+
+void Tape::clear() { nodes_.clear(); }
+
+}  // namespace gcnrl::ag

@@ -1,0 +1,203 @@
+#include "circuit/design_space.hpp"
+#include <functional>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnrl::circuit {
+
+double ParamRange::denormalize(double a) const {
+  const double t = std::clamp((a + 1.0) * 0.5, 0.0, 1.0);
+  if (log_scale) {
+    return lo * std::pow(hi / lo, t);
+  }
+  return lo + t * (hi - lo);
+}
+
+double ParamRange::normalize(double v) const {
+  double t = 0.0;
+  if (log_scale) {
+    t = std::log(std::max(v, 1e-300) / lo) / std::log(hi / lo);
+  } else {
+    t = (v - lo) / (hi - lo);
+  }
+  return std::clamp(2.0 * t - 1.0, -1.0, 1.0);
+}
+
+double ParamRange::refine_value(double v) const {
+  if (integer) {
+    v = std::round(v);
+  } else if (grid > 0.0) {
+    v = std::round(v / grid) * grid;
+  }
+  return std::clamp(v, lo, hi);
+}
+
+DesignSpace DesignSpace::from_netlist(const Netlist& nl,
+                                      const Technology& tech) {
+  DesignSpace ds;
+  for (const DesignRef& ref : nl.design_components()) {
+    CompSpace cs;
+    cs.kind = ref.kind;
+    cs.name = ref.name;
+    switch (ref.kind) {
+      case Kind::Nmos:
+      case Kind::Pmos:
+        cs.p[0] = {tech.wmin, tech.wmax, /*log=*/true, tech.grid, false};
+        cs.p[1] = {tech.lmin, tech.lmax, /*log=*/true, tech.grid, false};
+        cs.p[2] = {1.0, static_cast<double>(tech.mmax), /*log=*/true, 0.0,
+                   /*integer=*/true};
+        break;
+      case Kind::Resistor:
+        cs.p[0] = {tech.rmin, tech.rmax, true, 0.0, false};
+        break;
+      case Kind::Capacitor:
+        cs.p[0] = {tech.cmin, tech.cmax, true, 0.0, false};
+        break;
+    }
+    ds.comps_.push_back(std::move(cs));
+  }
+  return ds;
+}
+
+int DesignSpace::flat_dim() const {
+  int n = 0;
+  for (const auto& c : comps_) n += c.nparams();
+  return n;
+}
+
+int DesignSpace::find(const std::string& name) const {
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    if (comps_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void DesignSpace::add_match_group(const Netlist& nl,
+                                  std::vector<std::string> names,
+                                  bool l_only) {
+  MatchGroup g;
+  g.l_only = l_only;
+  for (const auto& n : names) {
+    const int i = nl.find_design(n);
+    if (i < 0) {
+      throw std::invalid_argument("add_match_group: unknown component " + n);
+    }
+    if (comps_.at(i).kind != comps_.at(nl.find_design(names.front())).kind) {
+      throw std::invalid_argument("add_match_group: mixed kinds in group");
+    }
+    g.comps.push_back(i);
+  }
+  groups_.push_back(std::move(g));
+}
+
+DesignParams DesignSpace::refine(const la::Mat& actions) const {
+  if (actions.rows() != num_components() ||
+      actions.cols() != kMaxActionDim) {
+    throw std::invalid_argument("DesignSpace::refine: bad action shape");
+  }
+  // 1. Matching: components tied (possibly transitively, through chained
+  // or overlapping groups) receive the average of their raw actions, so
+  // matched devices land on identical parameters and the map is symmetric
+  // in the group members. Per action dimension we build equivalence
+  // classes with union-find: an l_only group ties only dimension 1 (L).
+  la::Mat a = actions;
+  const int n = num_components();
+  for (int d = 0; d < kMaxActionDim; ++d) {
+    std::vector<int> parent(n);
+    for (int i = 0; i < n; ++i) parent[i] = i;
+    std::function<int(int)> find = [&](int i) {
+      while (parent[i] != i) {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+      }
+      return i;
+    };
+    bool any = false;
+    for (const MatchGroup& g : groups_) {
+      if (g.l_only && d != 1) continue;
+      for (std::size_t k = 1; k < g.comps.size(); ++k) {
+        parent[find(g.comps[k])] = find(g.comps[0]);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    std::vector<double> sum(n, 0.0);
+    std::vector<int> count(n, 0);
+    for (int i = 0; i < n; ++i) {
+      const int r = find(i);
+      sum[r] += a(i, d);
+      ++count[r];
+    }
+    for (int i = 0; i < n; ++i) {
+      const int r = find(i);
+      if (count[r] > 1) a(i, d) = sum[r] / count[r];
+    }
+  }
+  // 2-4. Denormalize, quantize, truncate.
+  DesignParams out;
+  out.v.resize(comps_.size());
+  for (std::size_t i = 0; i < comps_.size(); ++i) {
+    const CompSpace& cs = comps_[i];
+    for (int d = 0; d < cs.nparams(); ++d) {
+      const double raw = cs.p[d].denormalize(a(static_cast<int>(i), d));
+      out.v[i][d] = cs.p[d].refine_value(raw);
+    }
+  }
+  return out;
+}
+
+la::Mat DesignSpace::unflatten(std::span<const double> x) const {
+  if (static_cast<int>(x.size()) != flat_dim()) {
+    throw std::invalid_argument("DesignSpace::unflatten: bad size");
+  }
+  la::Mat a(num_components(), kMaxActionDim);
+  int k = 0;
+  for (int i = 0; i < num_components(); ++i) {
+    for (int d = 0; d < comps_[i].nparams(); ++d) a(i, d) = x[k++];
+  }
+  return a;
+}
+
+std::vector<double> DesignSpace::flatten(const la::Mat& actions) const {
+  std::vector<double> x;
+  x.reserve(flat_dim());
+  for (int i = 0; i < num_components(); ++i) {
+    for (int d = 0; d < comps_[i].nparams(); ++d) x.push_back(actions(i, d));
+  }
+  return x;
+}
+
+la::Mat DesignSpace::random_actions(Rng& rng) const {
+  la::Mat a(num_components(), kMaxActionDim);
+  for (int i = 0; i < num_components(); ++i) {
+    for (int d = 0; d < comps_[i].nparams(); ++d) {
+      a(i, d) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return a;
+}
+
+la::Mat DesignSpace::actions_from_params(const DesignParams& p) const {
+  if (static_cast<int>(p.v.size()) != num_components()) {
+    throw std::invalid_argument("actions_from_params: bad size");
+  }
+  la::Mat a(num_components(), kMaxActionDim);
+  for (int i = 0; i < num_components(); ++i) {
+    for (int d = 0; d < comps_[i].nparams(); ++d) {
+      a(i, d) = comps_[i].p[d].normalize(p.v[i][d]);
+    }
+  }
+  return a;
+}
+
+void DesignSpace::apply(Netlist& nl, const DesignParams& p) const {
+  if (static_cast<int>(p.v.size()) != nl.num_design_components() ||
+      nl.num_design_components() != num_components()) {
+    throw std::invalid_argument("DesignSpace::apply: size mismatch");
+  }
+  for (int i = 0; i < num_components(); ++i) nl.set_design_params(i, p.v[i]);
+}
+
+}  // namespace gcnrl::circuit

@@ -1,0 +1,100 @@
+// Design space + action refinement (paper Sec. III-B step 4).
+//
+// Actions arrive normalized in [-1, 1] per component per parameter (MOS:
+// W, L, M; R: r; C: c). Refinement turns them into legal parameters:
+//   1. matching   — components in a match group receive identical actions
+//                   (full match) or identical L (l_only: current-mirror
+//                   legs keep independent W/M to realize mirror ratios);
+//   2. denormalize — log- or linear-scale mapping onto [lo, hi];
+//   3. quantize   — round W/L to the technology grid, M to an integer;
+//   4. truncate   — clamp to the bounds.
+// The same refinement is applied to the RL agent's actions and to every
+// black-box baseline, so all methods search the identical legal space.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/tech.hpp"
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace gcnrl::circuit {
+
+struct ParamRange {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;
+  double grid = 0.0;    // 0 = continuous
+  bool integer = false; // round to nearest integer (M)
+
+  // [-1,1] -> value (before quantization).
+  [[nodiscard]] double denormalize(double a) const;
+  // value -> [-1,1] (inverse map, clamped).
+  [[nodiscard]] double normalize(double v) const;
+  // quantize+clamp a raw value into the legal set.
+  [[nodiscard]] double refine_value(double v) const;
+};
+
+struct CompSpace {
+  Kind kind;
+  std::string name;
+  std::array<ParamRange, kMaxActionDim> p{};
+  [[nodiscard]] int nparams() const { return action_dim(kind); }
+};
+
+struct MatchGroup {
+  std::vector<int> comps;  // design-component indices
+  bool l_only = false;     // match only L (mirror legs); else full match
+};
+
+// Refined parameter assignment for every design component.
+struct DesignParams {
+  std::vector<std::array<double, kMaxActionDim>> v;
+};
+
+class DesignSpace {
+ public:
+  DesignSpace() = default;
+
+  // Default ranges from the technology: W/L log-scaled over the node's
+  // geometry limits, M in [1, mmax], R/C log-scaled over the node ranges.
+  static DesignSpace from_netlist(const Netlist& nl, const Technology& tech);
+
+  [[nodiscard]] int num_components() const {
+    return static_cast<int>(comps_.size());
+  }
+  [[nodiscard]] int flat_dim() const;
+  CompSpace& comp(int i) { return comps_.at(i); }
+  [[nodiscard]] const CompSpace& comp(int i) const { return comps_.at(i); }
+  [[nodiscard]] int find(const std::string& name) const;
+
+  // Match groups are specified by component names (must exist).
+  void add_match_group(const Netlist& nl, std::vector<std::string> names,
+                       bool l_only = false);
+  [[nodiscard]] const std::vector<MatchGroup>& match_groups() const {
+    return groups_;
+  }
+
+  // --- refinement ------------------------------------------------------
+  // actions: n x kMaxActionDim in [-1, 1] (unused entries ignored).
+  [[nodiscard]] DesignParams refine(const la::Mat& actions) const;
+  // Flattened [-1,1] vector view for black-box optimizers.
+  [[nodiscard]] la::Mat unflatten(std::span<const double> x) const;
+  [[nodiscard]] std::vector<double> flatten(const la::Mat& actions) const;
+  [[nodiscard]] la::Mat random_actions(Rng& rng) const;
+  // Inverse: express concrete parameter values as [-1,1] actions (used to
+  // seed/evaluate the human-expert design through the same pipeline).
+  [[nodiscard]] la::Mat actions_from_params(const DesignParams& p) const;
+
+  // Apply refined parameters onto a netlist (same component ordering).
+  void apply(Netlist& nl, const DesignParams& p) const;
+
+ private:
+  std::vector<CompSpace> comps_;
+  std::vector<MatchGroup> groups_;
+};
+
+}  // namespace gcnrl::circuit

@@ -1,0 +1,79 @@
+#include "circuit/graph.hpp"
+
+#include <queue>
+
+namespace gcnrl::circuit {
+
+la::Mat build_adjacency(const Netlist& nl, bool exclude_supply_nets) {
+  const int n = nl.num_design_components();
+  // Group design components by the nets they touch.
+  std::vector<std::vector<int>> comps_on_net(nl.num_nodes());
+  for (int i = 0; i < n; ++i) {
+    for (int t : nl.design_terminals(i)) {
+      if (exclude_supply_nets && nl.is_supply(t)) continue;
+      comps_on_net[t].push_back(i);
+    }
+  }
+  la::Mat a(n, n);
+  for (const auto& comps : comps_on_net) {
+    for (std::size_t x = 0; x < comps.size(); ++x) {
+      for (std::size_t y = x + 1; y < comps.size(); ++y) {
+        if (comps[x] != comps[y]) {
+          a(comps[x], comps[y]) = 1.0;
+          a(comps[y], comps[x]) = 1.0;
+        }
+      }
+    }
+  }
+  return a;
+}
+
+namespace {
+
+// BFS from `start`, returning distances (-1 = unreachable).
+std::vector<int> bfs(const la::Mat& a, int start) {
+  std::vector<int> dist(a.rows(), -1);
+  std::queue<int> q;
+  dist[start] = 0;
+  q.push(start);
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int v = 0; v < a.cols(); ++v) {
+      if (a(u, v) > 0.0 && dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+int connected_components(const la::Mat& adjacency) {
+  const int n = adjacency.rows();
+  std::vector<bool> seen(n, false);
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (seen[i]) continue;
+    ++count;
+    const auto dist = bfs(adjacency, i);
+    for (int j = 0; j < n; ++j) {
+      if (dist[j] >= 0) seen[j] = true;
+    }
+  }
+  return count;
+}
+
+int graph_diameter(const la::Mat& adjacency) {
+  const int n = adjacency.rows();
+  int diameter = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto dist = bfs(adjacency, i);
+    for (int j = 0; j < n; ++j) diameter = std::max(diameter, dist[j]);
+  }
+  return diameter;
+}
+
+}  // namespace gcnrl::circuit

@@ -1,0 +1,211 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gcnrl::circuit {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Nmos: return "nmos";
+    case Kind::Pmos: return "pmos";
+    case Kind::Resistor: return "res";
+    case Kind::Capacitor: return "cap";
+  }
+  return "?";
+}
+
+double Pwl::at(double t) const {
+  if (points.empty()) return 0.0;
+  if (t <= points.front().first) return points.front().second;
+  if (t >= points.back().first) return points.back().second;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (t <= points[i].first) {
+      const auto& [t0, v0] = points[i - 1];
+      const auto& [t1, v1] = points[i];
+      if (t1 <= t0) return v1;
+      return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+    }
+  }
+  return points.back().second;
+}
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_["0"] = 0;
+  node_ids_["gnd"] = 0;
+  node_ids_["vss"] = 0;
+  supply_.push_back(true);
+}
+
+int Netlist::node(const std::string& name) {
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const int id = static_cast<int>(node_names_.size());
+  node_names_.push_back(name);
+  supply_.push_back(false);
+  node_ids_.emplace(name, id);
+  return id;
+}
+
+void Netlist::mark_supply(const std::string& name) {
+  supply_[node(name)] = true;
+}
+
+bool Netlist::is_supply(int node_id) const {
+  return node_id >= 0 && node_id < static_cast<int>(supply_.size()) &&
+         supply_[node_id];
+}
+
+std::optional<int> Netlist::find_node(const std::string& name) const {
+  auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Netlist::add_mos(const std::string& name, bool pmos, int d, int g, int s,
+                     int b, double w, double l, int m, bool designable) {
+  Mosfet mos;
+  mos.name = name;
+  mos.is_pmos = pmos;
+  mos.d = d;
+  mos.g = g;
+  mos.s = s;
+  mos.b = b;
+  mos.w = w;
+  mos.l = l;
+  mos.m = m;
+  const int idx = static_cast<int>(mos_.size());
+  mos_.push_back(mos);
+  if (designable) {
+    design_.push_back({pmos ? Kind::Pmos : Kind::Nmos, idx, name});
+  }
+  return idx;
+}
+
+int Netlist::add_nmos(const std::string& name, int d, int g, int s, int b,
+                      double w, double l, int m, bool designable) {
+  return add_mos(name, false, d, g, s, b, w, l, m, designable);
+}
+
+int Netlist::add_pmos(const std::string& name, int d, int g, int s, int b,
+                      double w, double l, int m, bool designable) {
+  return add_mos(name, true, d, g, s, b, w, l, m, designable);
+}
+
+int Netlist::add_resistor(const std::string& name, int a, int b, double r,
+                          bool designable) {
+  const int idx = static_cast<int>(res_.size());
+  res_.push_back({name, a, b, r});
+  if (designable) design_.push_back({Kind::Resistor, idx, name});
+  return idx;
+}
+
+int Netlist::add_capacitor(const std::string& name, int a, int b, double c,
+                           bool designable) {
+  const int idx = static_cast<int>(cap_.size());
+  cap_.push_back({name, a, b, c});
+  if (designable) design_.push_back({Kind::Capacitor, idx, name});
+  return idx;
+}
+
+int Netlist::add_vsource(const std::string& name, int p, int n, double dc,
+                         double ac, Pwl pwl) {
+  const int idx = static_cast<int>(vsrc_.size());
+  vsrc_.push_back({name, p, n, dc, ac, std::move(pwl)});
+  return idx;
+}
+
+int Netlist::add_isource(const std::string& name, int p, int n, double dc,
+                         double ac, Pwl pwl) {
+  const int idx = static_cast<int>(isrc_.size());
+  isrc_.push_back({name, p, n, dc, ac, std::move(pwl)});
+  return idx;
+}
+
+VSource* Netlist::find_vsource(const std::string& name) {
+  auto it = std::find_if(vsrc_.begin(), vsrc_.end(),
+                         [&](const VSource& v) { return v.name == name; });
+  return it == vsrc_.end() ? nullptr : &*it;
+}
+
+ISource* Netlist::find_isource(const std::string& name) {
+  auto it = std::find_if(isrc_.begin(), isrc_.end(),
+                         [&](const ISource& v) { return v.name == name; });
+  return it == isrc_.end() ? nullptr : &*it;
+}
+
+void Netlist::set_mos_gate(const std::string& name, int node) {
+  auto it = std::find_if(mos_.begin(), mos_.end(),
+                         [&](const Mosfet& m) { return m.name == name; });
+  if (it == mos_.end()) {
+    throw std::invalid_argument("set_mos_gate: unknown MOSFET " + name);
+  }
+  it->g = node;
+}
+
+std::vector<int> Netlist::design_terminals(int i) const {
+  const DesignRef& ref = design_.at(i);
+  switch (ref.kind) {
+    case Kind::Nmos:
+    case Kind::Pmos: {
+      const Mosfet& m = mos_[ref.elem_index];
+      return {m.d, m.g, m.s};
+    }
+    case Kind::Resistor: {
+      const Resistor& r = res_[ref.elem_index];
+      return {r.a, r.b};
+    }
+    case Kind::Capacitor: {
+      const Capacitor& c = cap_[ref.elem_index];
+      return {c.a, c.b};
+    }
+  }
+  return {};
+}
+
+int Netlist::find_design(const std::string& name) const {
+  for (std::size_t i = 0; i < design_.size(); ++i) {
+    if (design_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Netlist::set_design_params(int i,
+                                const std::array<double, kMaxActionDim>& v) {
+  const DesignRef& ref = design_.at(i);
+  switch (ref.kind) {
+    case Kind::Nmos:
+    case Kind::Pmos: {
+      Mosfet& m = mos_[ref.elem_index];
+      m.w = v[0];
+      m.l = v[1];
+      m.m = std::max(1, static_cast<int>(v[2] + 0.5));
+      break;
+    }
+    case Kind::Resistor:
+      res_[ref.elem_index].r = v[0];
+      break;
+    case Kind::Capacitor:
+      cap_[ref.elem_index].c = v[0];
+      break;
+  }
+}
+
+std::array<double, kMaxActionDim> Netlist::design_params(int i) const {
+  const DesignRef& ref = design_.at(i);
+  switch (ref.kind) {
+    case Kind::Nmos:
+    case Kind::Pmos: {
+      const Mosfet& m = mos_[ref.elem_index];
+      return {m.w, m.l, static_cast<double>(m.m)};
+    }
+    case Kind::Resistor:
+      return {res_[ref.elem_index].r, 0.0, 0.0};
+    case Kind::Capacitor:
+      return {cap_[ref.elem_index].c, 0.0, 0.0};
+  }
+  return {};
+}
+
+}  // namespace gcnrl::circuit

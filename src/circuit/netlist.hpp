@@ -1,0 +1,167 @@
+// Circuit netlist: nodes (nets), elements, and the "design component" view.
+//
+// A netlist serves two masters:
+//  * the simulator (sim::Simulator), which needs every element with its
+//    terminal node ids and current parameter values;
+//  * the optimization environment (env::SizingEnv), which sees only the
+//    ordered list of *designable* components — the graph vertices of the
+//    paper (NMOS / PMOS / R / C) whose parameters are being sized.
+//
+// Nets carry an `is_supply` flag (VDD, VSS/ground, bias rails): supply
+// nets are excluded when extracting the topology graph, otherwise every
+// component would be adjacent to every other through the rails.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gcnrl::circuit {
+
+// Designable component kinds (the paper's four vertex types).
+enum class Kind { Nmos = 0, Pmos = 1, Resistor = 2, Capacitor = 3 };
+inline constexpr int kNumKinds = 4;
+inline constexpr int kMaxActionDim = 3;  // MOS: (W, L, M); R: (r); C: (c)
+
+// Number of searched parameters for a component kind.
+constexpr int action_dim(Kind k) {
+  return (k == Kind::Nmos || k == Kind::Pmos) ? 3 : 1;
+}
+const char* kind_name(Kind k);
+
+// Piecewise-linear time waveform for transient sources. Empty = constant.
+struct Pwl {
+  std::vector<std::pair<double, double>> points;  // (time, value), sorted
+  [[nodiscard]] bool empty() const { return points.empty(); }
+  // Value at time t (holds first/last value outside the span).
+  [[nodiscard]] double at(double t) const;
+};
+
+struct Mosfet {
+  std::string name;
+  bool is_pmos = false;
+  int d = 0, g = 0, s = 0, b = 0;  // drain, gate, source, body node ids
+  double w = 1e-6;                 // gate width  [m]
+  double l = 1e-6;                 // gate length [m]
+  int m = 1;                       // multiplier (paper's "multiplexer" M)
+};
+
+struct Resistor {
+  std::string name;
+  int a = 0, b = 0;
+  double r = 1e3;  // [ohm]
+};
+
+struct Capacitor {
+  std::string name;
+  int a = 0, b = 0;
+  double c = 1e-12;  // [F]
+};
+
+struct VSource {
+  std::string name;
+  int p = 0, n = 0;
+  double dc = 0.0;
+  double ac = 0.0;  // AC magnitude (phase 0)
+  Pwl pwl;          // optional transient waveform (overrides dc in tran)
+};
+
+struct ISource {
+  std::string name;
+  int p = 0, n = 0;  // positive current flows p -> n through the source
+  double dc = 0.0;
+  double ac = 0.0;
+  Pwl pwl;
+};
+
+// Reference from design-component index to the backing element.
+struct DesignRef {
+  Kind kind;
+  int elem_index;  // index into the per-kind element vector
+  std::string name;
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  // --- nodes ---------------------------------------------------------
+  // Returns the node id for `name`, creating it if needed. "0", "gnd" and
+  // "vss" map to the ground node (id 0), which is always a supply.
+  int node(const std::string& name);
+  void mark_supply(const std::string& name);
+  [[nodiscard]] bool is_supply(int node_id) const;
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(node_names_.size()); }
+  [[nodiscard]] const std::string& node_name(int id) const { return node_names_[id]; }
+  [[nodiscard]] std::optional<int> find_node(const std::string& name) const;
+
+  // --- elements ------------------------------------------------------
+  // `designable` components join the design-component list in call order.
+  int add_nmos(const std::string& name, int d, int g, int s, int b,
+               double w, double l, int m = 1, bool designable = true);
+  int add_pmos(const std::string& name, int d, int g, int s, int b,
+               double w, double l, int m = 1, bool designable = true);
+  int add_resistor(const std::string& name, int a, int b, double r,
+                   bool designable = true);
+  int add_capacitor(const std::string& name, int a, int b, double c,
+                    bool designable = true);
+  int add_vsource(const std::string& name, int p, int n, double dc,
+                  double ac = 0.0, Pwl pwl = {});
+  int add_isource(const std::string& name, int p, int n, double dc,
+                  double ac = 0.0, Pwl pwl = {});
+
+  [[nodiscard]] const std::vector<Mosfet>& mosfets() const { return mos_; }
+  [[nodiscard]] const std::vector<Resistor>& resistors() const { return res_; }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const { return cap_; }
+  [[nodiscard]] const std::vector<VSource>& vsources() const { return vsrc_; }
+  [[nodiscard]] const std::vector<ISource>& isources() const { return isrc_; }
+  std::vector<VSource>& vsources() { return vsrc_; }
+  std::vector<ISource>& isources() { return isrc_; }
+
+  [[nodiscard]] VSource* find_vsource(const std::string& name);
+  [[nodiscard]] ISource* find_isource(const std::string& name);
+
+  // Rewire the gate of a named MOSFET (used by measurement testbenches to
+  // break feedback loops, e.g. CMFB loop-gain injection).
+  void set_mos_gate(const std::string& name, int node);
+
+  // --- design components ----------------------------------------------
+  [[nodiscard]] const std::vector<DesignRef>& design_components() const {
+    return design_;
+  }
+  [[nodiscard]] int num_design_components() const {
+    return static_cast<int>(design_.size());
+  }
+  // Terminal node ids of design component i (2 or 3 used entries).
+  [[nodiscard]] std::vector<int> design_terminals(int i) const;
+  [[nodiscard]] Kind design_kind(int i) const { return design_[i].kind; }
+  [[nodiscard]] const std::string& design_name(int i) const {
+    return design_[i].name;
+  }
+  // Index of the named design component (-1 if absent).
+  [[nodiscard]] int find_design(const std::string& name) const;
+
+  // Set parameter values of design component i: MOS -> (w, l, m),
+  // R -> (r), C -> (c). Values beyond the component's arity are ignored.
+  void set_design_params(int i, const std::array<double, kMaxActionDim>& v);
+  [[nodiscard]] std::array<double, kMaxActionDim> design_params(int i) const;
+
+ private:
+  int add_mos(const std::string& name, bool pmos, int d, int g, int s, int b,
+              double w, double l, int m, bool designable);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, int> node_ids_;
+  std::vector<bool> supply_;
+
+  std::vector<Mosfet> mos_;
+  std::vector<Resistor> res_;
+  std::vector<Capacitor> cap_;
+  std::vector<VSource> vsrc_;
+  std::vector<ISource> isrc_;
+  std::vector<DesignRef> design_;
+};
+
+}  // namespace gcnrl::circuit

@@ -1,0 +1,78 @@
+#include "circuit/tech.hpp"
+
+#include <stdexcept>
+
+namespace gcnrl::circuit {
+
+std::array<double, 5> Technology::model_features(Kind kind) const {
+  switch (kind) {
+    case Kind::Nmos:
+      return {vsat * 1e-5, vth0_n, vfb, mu0_n * 10.0, uc};
+    case Kind::Pmos:
+      // PMOS features carry sign-flipped threshold / flat band so the two
+      // device types are distinguishable beyond the type one-hot.
+      return {vsat * 1e-5, -vth0_p, -vfb, mu0_p * 10.0, uc};
+    case Kind::Resistor:
+    case Kind::Capacitor:
+      return {0.0, 0.0, 0.0, 0.0, 0.0};
+  }
+  return {};
+}
+
+Technology make_technology(const std::string& node) {
+  Technology t;
+  t.name = node;
+  // Common settings.
+  t.grid = 5e-9;
+  t.mmax = 64;
+  t.rmin = 100.0;
+  t.rmax = 1e6;
+  t.cmin = 10e-15;
+  t.cmax = 50e-12;
+  t.vsat = 8e4;
+
+  const double eps_ox = 3.9 * 8.854e-12;  // SiO2 permittivity [F/m]
+
+  auto common = [&](double lnode_nm, double vdd, double tox_nm, double vth_n,
+                    double vth_p, double mu_n, double mu_p, double uc,
+                    double vfb, double lambda_um, double kf_scale) {
+    t.lnode = lnode_nm * 1e-9;
+    t.vdd = vdd;
+    t.lmin = t.lnode;
+    t.lmax = 20.0 * t.lnode;
+    t.wmin = 2.0 * t.lnode;
+    t.wmax = 100e-6;
+    t.cox = eps_ox / (tox_nm * 1e-9);
+    t.vth0_n = vth_n;
+    t.vth0_p = vth_p;
+    t.mu0_n = mu_n;
+    t.mu0_p = mu_p;
+    t.uc = uc;
+    t.vfb = vfb;
+    t.lambda_um = lambda_um;
+    t.cov = 0.35 * t.cox * t.lnode;  // overlap ~ 0.35 Lnode of gate cap
+    t.cj = 1.1 * t.cox * t.lnode;    // junction ~ drain extension area
+    t.kf = 2.5e-26 * kf_scale;       // flicker coefficient
+  };
+
+  if (node == "250nm") {
+    common(250, 2.5, 5.6, 0.55, 0.60, 0.0430, 0.0160, 0.25, -0.90, 0.045, 1.6);
+  } else if (node == "180nm") {
+    common(180, 1.8, 4.1, 0.50, 0.52, 0.0400, 0.0150, 0.30, -0.88, 0.050, 1.3);
+  } else if (node == "130nm") {
+    common(130, 1.3, 3.1, 0.42, 0.45, 0.0360, 0.0135, 0.35, -0.85, 0.058, 1.0);
+  } else if (node == "65nm") {
+    common(65, 1.2, 2.4, 0.38, 0.40, 0.0300, 0.0115, 0.45, -0.82, 0.070, 0.7);
+  } else if (node == "45nm") {
+    common(45, 1.1, 1.9, 0.35, 0.37, 0.0260, 0.0100, 0.55, -0.80, 0.080, 0.5);
+  } else {
+    throw std::invalid_argument("make_technology: unknown node " + node);
+  }
+  return t;
+}
+
+std::vector<std::string> available_nodes() {
+  return {"250nm", "180nm", "130nm", "65nm", "45nm"};
+}
+
+}  // namespace gcnrl::circuit

@@ -1,0 +1,214 @@
+// Low-dropout regulator (Fig. 6d analogue).
+//
+// Architecture: NMOS-input error amplifier (diff pair T1/T2, PMOS mirror
+// load T3/T4, tail T5 self-biased from VREF), inverting gain stage
+// (T7 with PMOS diode load T8) driving the gate of the PMOS pass device
+// T6, and an R1/R2 divider feeding the regulated voltage back. CL is the
+// (fixed) board capacitor; ILOAD the external load.
+//
+// Searched: T1..T8 (W, L, M) + R1, R2 -> 26 parameters.
+// Metrics (paper Sec. IV-A): settling after load step up/down (TL+/TL-),
+// load regulation (LR, in dB rejection, larger is better), settling after
+// line step up/down (TV+/TV-), PSRR, quiescent+dropout power.
+#include "circuits/benchmark_circuits.hpp"
+
+#include "circuits/helpers.hpp"
+
+namespace gcnrl::circuits {
+
+using circuit::Netlist;
+using circuit::Pwl;
+using circuit::Technology;
+
+namespace {
+
+constexpr double kLoadLow = 1e-3;   // [A]
+constexpr double kLoadNom = 5e-3;
+constexpr double kLoadHigh = 10e-3;
+constexpr double kEdge1 = 0.2e-6;   // disturbance edges [s]
+constexpr double kEdge2 = 1.1e-6;
+constexpr double kTstop = 2.0e-6;
+constexpr double kDt = 2e-9;
+constexpr double kEdgeRise = 10e-9;
+constexpr double kSettleTol = 1e-3;  // [V]
+
+}  // namespace
+
+env::BenchmarkCircuit make_ldo(const Technology& tech) {
+  env::BenchmarkCircuit bc;
+  bc.name = "LDO";
+  bc.tech = tech;
+
+  Netlist& nl = bc.netlist;
+  const int vdd = nl.node("vdd");
+  nl.mark_supply("vdd");
+  const int vref = nl.node("vref");
+  nl.mark_supply("vref");  // reference rail, not a signal wire
+  const int e1 = nl.node("e1");
+  const int e2 = nl.node("e2");
+  const int tails = nl.node("tails");
+  const int gate_p = nl.node("gate_p");
+  const int vout = nl.node("vout");
+  const int vfb = nl.node("vfb");
+
+  const double vref_v = tech.vdd / 2.0;
+  nl.add_vsource("VDD", vdd, 0, tech.vdd);
+  nl.add_vsource("VREF", vref, 0, vref_v);
+  nl.add_isource("ILOAD", vout, 0, kLoadNom);
+
+  const double l = tech.lmin;
+  nl.add_nmos("T1", e1, vref, tails, 0, 20e-6, 2 * l, 2);  // pair (ref)
+  nl.add_nmos("T2", e2, vfb, tails, 0, 20e-6, 2 * l, 2);   // pair (fb)
+  nl.add_pmos("T3", e1, e1, vdd, vdd, 10e-6, 2 * l, 2);    // mirror diode
+  nl.add_pmos("T4", e2, e1, vdd, vdd, 10e-6, 2 * l, 2);    // mirror out
+  nl.add_nmos("T5", tails, vref, 0, 0, 10e-6, 2 * l, 2);   // tail
+  nl.add_pmos("T6", vout, gate_p, vdd, vdd, 80e-6, l, 32); // pass device
+  nl.add_nmos("T7", gate_p, e2, 0, 0, 20e-6, l, 2);        // gain stage
+  nl.add_pmos("T8", gate_p, gate_p, vdd, vdd, 10e-6, l, 2);  // its load
+  nl.add_resistor("R1", vout, vfb, 20e3);
+  nl.add_resistor("R2", vfb, 0, 40e3);
+  nl.add_capacitor("CL", vout, 0, 200e-12, /*designable=*/false);
+  // ESD-style clamp: when a weak candidate design cannot source the
+  // forced load current, the ideal ILOAD sink would otherwise drag vout
+  // tens of volts negative and the DC solve would (rightly) never get
+  // there. The clamp bounds the excursion near -Vth exactly like the pad
+  // diode on a real chip, so failing designs fail *fast* and are rejected
+  // by the collapsed-output check below.
+  nl.add_nmos("T_ESD", 0, 0, vout, 0, 50e-6, tech.lmin, 8,
+              /*designable=*/false);
+
+  bc.space = circuit::DesignSpace::from_netlist(nl, tech);
+  bc.space.add_match_group(nl, {"T1", "T2"});
+  bc.space.add_match_group(nl, {"T3", "T4"});
+  // The pass device may be very wide: widen its W search range.
+  bc.space.comp(bc.space.find("T6")).p[0].hi = tech.wmax;
+
+  env::FomSpec fom;
+  fom.metrics = {
+      // name, unit, weight, bound, spec_min, spec_max, log_norm
+      {"tl_up", "s", -1.0, {}, {}, {}, true},
+      {"tl_dn", "s", -1.0, {}, {}, {}, true},
+      {"lr", "dB", +1.0, {}, 0.0, {}, false},
+      {"tv_up", "s", -1.0, {}, {}, {}, true},
+      {"tv_dn", "s", -1.0, {}, {}, {}, true},
+      {"psrr", "dB", +1.0, {}, 0.0, {}, false},
+      {"power", "W", -1.0, {}, {}, {}, true},
+  };
+  // Regulation spec: output must actually regulate (LR/PSRR above 0 dB
+  // rejection) — the collapsed-output rejection already removes the worst
+  // offenders before metrics are computed.
+  bc.fom = fom;
+
+  const Technology tech_copy = tech;
+  bc.evaluate = [vout, tech_copy](const Netlist& sized) {
+    env::MetricMap m;
+
+    // --- DC / regulation ------------------------------------------------
+    double i_vdd_nom = 0.0;
+    double vout_nom = 0.0;
+    {
+      sim::Simulator s(sized, tech_copy);
+      vout_nom = s.op().node(vout);
+      i_vdd_nom = s.source_current("VDD");
+      // Quiescent power only: the dropout loss (vdd - vout) * Iload is set
+      // by the externally-forced load and would mask the bias-current
+      // trade-offs the optimizer actually controls.
+      m["power"] =
+          std::max(tech_copy.vdd * (i_vdd_nom - kLoadNom), 1e-7);
+      // PSRR at 1 kHz: AC on the supply.
+      Netlist psrr_nl = sized;
+      psrr_nl.find_vsource("VDD")->ac = 1.0;
+      sim::Simulator sp(psrr_nl, tech_copy);
+      const auto ac = sp.ac({1e3});
+      const double h = std::abs(ac.phasor(0, vout));
+      m["psrr"] = -20.0 * std::log10(std::max(h, 1e-9));
+    }
+    {
+      Netlist lo = sized;
+      lo.find_isource("ILOAD")->dc = kLoadLow;
+      Netlist hi = sized;
+      hi.find_isource("ILOAD")->dc = kLoadHigh;
+      sim::Simulator sl(lo, tech_copy);
+      sim::Simulator sh(hi, tech_copy);
+      const double dv =
+          std::fabs(sl.op().node(vout) - sh.op().node(vout));
+      const double r_out = dv / (kLoadHigh - kLoadLow);
+      // Load regulation as rejection in dB (larger = stiffer output).
+      m["lr"] = -20.0 * std::log10(std::max(r_out, 1e-6));
+    }
+    // A collapsed regulator (output far from the divider target) is a
+    // failed design even if transients "settle": reject early.
+    const double vout_target =
+        tech_copy.vdd / 2.0 * (1.0 + sized.resistors()[0].r /
+                                         std::max(sized.resistors()[1].r,
+                                                  1.0));
+    if (vout_nom < 0.25 * vout_target || vout_nom > tech_copy.vdd) {
+      throw sim::SimError("LDO output collapsed");
+    }
+
+    // --- load transient ---------------------------------------------------
+    {
+      Netlist tr_nl = sized;
+      tr_nl.find_isource("ILOAD")->pwl =
+          Pwl{{{0.0, kLoadNom},
+               {kEdge1, kLoadNom},
+               {kEdge1 + kEdgeRise, kLoadHigh},
+               {kEdge2, kLoadHigh},
+               {kEdge2 + kEdgeRise, kLoadNom}}};
+      sim::Simulator s(tr_nl, tech_copy);
+      sim::TranOptions topt;
+      topt.tstop = kTstop;
+      topt.dt = kDt;
+      const auto tr = s.tran(topt);
+      const auto v = detail::tran_curve(tr, vout);
+      const auto up = detail::window(v, kEdge1, kEdge2 - 0.05e-6);
+      const auto dn = detail::window(v, kEdge2, kTstop);
+      m["tl_up"] = meas::settling_time(up, kEdge1, kSettleTol);
+      m["tl_dn"] = meas::settling_time(dn, kEdge2, kSettleTol);
+    }
+    // --- line transient ----------------------------------------------------
+    {
+      Netlist tr_nl = sized;
+      const double v0 = tech_copy.vdd;
+      tr_nl.find_vsource("VDD")->pwl = Pwl{{{0.0, v0},
+                                            {kEdge1, v0},
+                                            {kEdge1 + kEdgeRise, v0 + 0.2},
+                                            {kEdge2, v0 + 0.2},
+                                            {kEdge2 + kEdgeRise, v0}}};
+      sim::Simulator s(tr_nl, tech_copy);
+      sim::TranOptions topt;
+      topt.tstop = kTstop;
+      topt.dt = kDt;
+      const auto tr = s.tran(topt);
+      const auto v = detail::tran_curve(tr, vout);
+      const auto up = detail::window(v, kEdge1, kEdge2 - 0.05e-6);
+      const auto dn = detail::window(v, kEdge2, kTstop);
+      m["tv_up"] = meas::settling_time(up, kEdge1, kSettleTol);
+      m["tv_dn"] = meas::settling_time(dn, kEdge2, kSettleTol);
+    }
+    return m;
+  };
+
+  // Human-expert reference: 2x-length error amp for gain/offset, strong
+  // pass device (W*M ~ 2.5 mm) for low dropout at 10 mA, divider for
+  // vout = 1.5 * vref.
+  {
+    circuit::DesignParams p;
+    p.v = {
+        {24e-6, 2 * l, 2},   // T1
+        {24e-6, 2 * l, 2},   // T2
+        {12e-6, 2 * l, 2},   // T3
+        {12e-6, 2 * l, 2},   // T4
+        {12e-6, 2 * l, 2},   // T5
+        {80e-6, l, 32},      // T6 pass
+        {24e-6, l, 2},       // T7
+        {12e-6, l, 2},       // T8
+        {20e3, 0, 0},        // R1
+        {40e3, 0, 0},        // R2
+    };
+    bc.human_expert = p;
+  }
+  return bc;
+}
+
+}  // namespace gcnrl::circuits

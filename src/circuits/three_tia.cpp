@@ -1,0 +1,141 @@
+// Three-stage differential transimpedance amplifier (Fig. 6c analogue).
+//
+// Differential input currents are converted to voltages by diode-connected
+// NMOS devices (T0 / T16), then amplified by three differential stages:
+// two NMOS diff pairs with PMOS diode loads (tail-biased from an RB +
+// diode reference), and a pseudo-differential common-source output stage
+// with PMOS diode loads that performs the final I-V boost. 17 transistors
+// + RB, matching the paper's component count.
+//
+// Searched: T0..T16 (W, L, M) + RB -> 52 parameters.
+// Metrics (paper Sec. IV-A): BW, Gain (differential transimpedance),
+// Power.
+#include "circuits/benchmark_circuits.hpp"
+
+#include "circuits/helpers.hpp"
+
+namespace gcnrl::circuits {
+
+using circuit::Netlist;
+using circuit::Technology;
+
+env::BenchmarkCircuit make_three_tia(const Technology& tech) {
+  env::BenchmarkCircuit bc;
+  bc.name = "Three-TIA";
+  bc.tech = tech;
+
+  Netlist& nl = bc.netlist;
+  const int vdd = nl.node("vdd");
+  nl.mark_supply("vdd");
+  const int in1 = nl.node("in1");
+  const int in2 = nl.node("in2");
+  const int s1a = nl.node("s1a");
+  const int s1b = nl.node("s1b");
+  const int s2a = nl.node("s2a");
+  const int s2b = nl.node("s2b");
+  const int vo1 = nl.node("vout1");
+  const int vo2 = nl.node("vout2");
+  const int t1 = nl.node("tail1");
+  const int t2 = nl.node("tail2");
+  const int vbn = nl.node("vbn");
+
+  nl.add_vsource("VDD", vdd, 0, tech.vdd);
+  // Differential input currents with a DC bias that keeps the input
+  // diodes conducting (the "source current" the paper's text mentions).
+  const double i_in_bias = 20e-6 * (tech.vdd / 1.8);
+  nl.add_isource("IIN1", 0, in1, i_in_bias, /*ac=*/+0.5);
+  nl.add_isource("IIN2", 0, in2, i_in_bias, /*ac=*/-0.5);
+
+  const double l = tech.lmin;
+  // Input current-to-voltage diodes.
+  nl.add_nmos("T0", in1, in1, 0, 0, 10e-6, l, 1);
+  // Stage 1: diff pair + PMOS diode loads.
+  nl.add_nmos("T1", s1a, in1, t1, 0, 20e-6, l, 2);
+  nl.add_nmos("T2", s1b, in2, t1, 0, 20e-6, l, 2);
+  nl.add_pmos("T7", s1a, s1a, vdd, vdd, 10e-6, l, 1);
+  nl.add_pmos("T8", s1b, s1b, vdd, vdd, 10e-6, l, 1);
+  // Stage 2.
+  nl.add_nmos("T3", s2a, s1a, t2, 0, 20e-6, l, 2);
+  nl.add_nmos("T4", s2b, s1b, t2, 0, 20e-6, l, 2);
+  nl.add_pmos("T9", s2a, s2a, vdd, vdd, 10e-6, l, 1);
+  nl.add_pmos("T10", s2b, s2b, vdd, vdd, 10e-6, l, 1);
+  // Stage 3: pseudo-differential CS output.
+  nl.add_nmos("T5", vo1, s2a, 0, 0, 20e-6, l, 2);
+  nl.add_nmos("T6", vo2, s2b, 0, 0, 20e-6, l, 2);
+  nl.add_pmos("T11", vo1, vo1, vdd, vdd, 10e-6, l, 1);
+  nl.add_pmos("T12", vo2, vo2, vdd, vdd, 10e-6, l, 1);
+  // Bias chain: RB into NMOS diode T15, mirrored to the two tails.
+  nl.add_nmos("T13", t1, vbn, 0, 0, 10e-6, l, 2);
+  nl.add_nmos("T14", t2, vbn, 0, 0, 10e-6, l, 2);
+  nl.add_nmos("T15", vbn, vbn, 0, 0, 10e-6, l, 1);
+  nl.add_nmos("T16", in2, in2, 0, 0, 10e-6, l, 1);
+  nl.add_resistor("RB", vdd, vbn, 20e3);
+  // Fixed load caps at the outputs.
+  nl.add_capacitor("CL1", vo1, 0, 100e-15, /*designable=*/false);
+  nl.add_capacitor("CL2", vo2, 0, 100e-15, /*designable=*/false);
+
+  bc.space = circuit::DesignSpace::from_netlist(nl, tech);
+  bc.space.add_match_group(nl, {"T0", "T16"});
+  bc.space.add_match_group(nl, {"T1", "T2"});
+  bc.space.add_match_group(nl, {"T3", "T4"});
+  bc.space.add_match_group(nl, {"T5", "T6"});
+  bc.space.add_match_group(nl, {"T7", "T8"});
+  bc.space.add_match_group(nl, {"T9", "T10"});
+  bc.space.add_match_group(nl, {"T11", "T12"});
+  bc.space.add_match_group(nl, {"T13", "T14", "T15"}, /*l_only=*/true);
+
+  env::FomSpec fom;
+  fom.metrics = {
+      // name, unit, weight, bound, spec_min, spec_max, log_norm
+      {"bw", "Hz", +1.0, {}, 1e6, {}, true},
+      {"gain", "ohm", +1.0, {}, 100.0, {}, true},
+      {"power", "W", -1.0, {}, {}, {}, true},
+  };
+  // Minimal functionality spec (a working amplifier): keeps degenerate
+  // dead designs from free-riding on the power metric.
+  bc.fom = fom;
+
+  const Technology tech_copy = tech;
+  bc.evaluate = [vo1, vo2, tech_copy](const Netlist& sized) {
+    sim::Simulator s(sized, tech_copy);
+    env::MetricMap m;
+    m["power"] = s.supply_power();
+    const auto freqs = sim::logspace(1e3, 1e11, 97);
+    const auto ac = s.ac(freqs);
+    const auto h = detail::curve_diff(ac, vo1, vo2);
+    m["gain"] = meas::dc_gain(h);
+    m["bw"] = meas::bandwidth_3db(h);
+    m["gbw"] = m["gain"] * m["bw"];
+    return m;
+  };
+
+  // Human-expert reference: moderate 100 uA/stage bias (RB ~ (vdd-vgs)/I),
+  // 2:1 pair-to-load width ratio for gain, minimum-length pairs for speed.
+  {
+    circuit::DesignParams p;
+    p.v = {
+        {10e-6, l, 1},   // T0
+        {24e-6, l, 2},   // T1
+        {24e-6, l, 2},   // T2
+        {8e-6, l, 1},    // T7
+        {8e-6, l, 1},    // T8
+        {24e-6, l, 2},   // T3
+        {24e-6, l, 2},   // T4
+        {8e-6, l, 1},    // T9
+        {8e-6, l, 1},    // T10
+        {30e-6, l, 2},   // T5
+        {30e-6, l, 2},   // T6
+        {8e-6, l, 1},    // T11
+        {8e-6, l, 1},    // T12
+        {12e-6, l, 2},   // T13
+        {12e-6, l, 2},   // T14
+        {12e-6, l, 1},   // T15
+        {10e-6, l, 1},   // T16
+        {12e3, 0, 0},    // RB
+    };
+    bc.human_expert = p;
+  }
+  return bc;
+}
+
+}  // namespace gcnrl::circuits

@@ -1,0 +1,121 @@
+// Two-stage transimpedance amplifier (Fig. 6a analogue).
+//
+// Topology: shunt-feedback TIA. The photo-current enters node `in`; a
+// common-source NMOS (T1) with PMOS current-source load (T3) provides the
+// inverting voltage gain; an NMOS source follower (T5 over sink T6)
+// buffers the output; RF closes the shunt-shunt feedback loop (one
+// inversion in the loop = stable negative feedback), R6 provides the
+// output DC path. On-chip bias: IBIAS through NMOS diode T2 generates the
+// NMOS rail (mirrored by T7 and follower sink T6); T7 pulls the PMOS
+// diode T4 to generate the PMOS rail for T3.
+//
+// Searched: T1..T7 (W, L, M) + RF, R6 -> 23 parameters.
+// Metrics (paper Table II): BW, Gain (transimpedance), Power, input-
+// referred current noise, Peaking; GBW = Gain*BW reported alongside.
+#include "circuits/benchmark_circuits.hpp"
+
+#include "circuits/helpers.hpp"
+
+namespace gcnrl::circuits {
+
+using circuit::Netlist;
+using circuit::Technology;
+
+env::BenchmarkCircuit make_two_tia(const Technology& tech) {
+  env::BenchmarkCircuit bc;
+  bc.name = "Two-TIA";
+  bc.tech = tech;
+
+  Netlist& nl = bc.netlist;
+  const int vdd = nl.node("vdd");
+  nl.mark_supply("vdd");
+  const int in = nl.node("in");
+  const int n1 = nl.node("n1");
+  const int nbn = nl.node("nbn");
+  const int nbp = nl.node("nbp");
+  const int vout = nl.node("vout");
+
+  const double ib = 50e-6 * (tech.vdd / 1.8);  // bias scales with supply
+  nl.add_vsource("VDD", vdd, 0, tech.vdd);
+  nl.add_isource("IBIAS", vdd, nbn, ib);
+  // Input photo-current: DC-free, unit AC for the transimpedance sweep.
+  nl.add_isource("IIN", 0, in, 0.0, /*ac=*/1.0);
+
+  // Design components (insertion order defines the graph vertex order).
+  nl.add_nmos("T1", n1, in, 0, 0, 40e-6, tech.lmin, 2);     // input CS
+  nl.add_nmos("T2", nbn, nbn, 0, 0, 10e-6, tech.lmin, 1);   // bias diode
+  nl.add_pmos("T3", n1, nbp, vdd, vdd, 40e-6, tech.lmin, 2);  // stage1 load
+  nl.add_pmos("T4", nbp, nbp, vdd, vdd, 20e-6, tech.lmin, 1);  // PMOS diode
+  nl.add_nmos("T5", vdd, n1, vout, 0, 40e-6, tech.lmin, 2);  // follower
+  nl.add_nmos("T6", vout, nbn, 0, 0, 10e-6, tech.lmin, 4);   // follower sink
+  nl.add_nmos("T7", nbp, nbn, 0, 0, 10e-6, tech.lmin, 1);    // bias mirror
+  nl.add_resistor("RF", vout, in, 20e3);                     // feedback
+  nl.add_resistor("R6", vout, 0, 10e3);                      // output load
+  nl.add_capacitor("CL", vout, 0, 100e-15, /*designable=*/false);
+
+  bc.space = circuit::DesignSpace::from_netlist(nl, tech);
+  // Current-mirror legs share gate length.
+  bc.space.add_match_group(nl, {"T2", "T7", "T6"}, /*l_only=*/true);
+  bc.space.add_match_group(nl, {"T3", "T4"}, /*l_only=*/true);
+
+  // --- FoM definition (paper Table II metric set + spec) ----------------
+  // The spec mirrors the paper's contest constraints in our metric scale:
+  // the BW floor is the load-bearing one — it forbids the trivial
+  // "maximize RF" strategy (huge transimpedance at collapsed bandwidth),
+  // recreating the gain-vs-bandwidth tension that makes this benchmark
+  // discriminate between optimizers.
+  env::FomSpec fom;
+  fom.metrics = {
+      // name, unit, weight, bound, spec_min, spec_max, log_norm
+      {"bw", "Hz", +1.0, {}, 5e7, {}, true},
+      {"gain", "ohm", +1.0, 2e5, 500.0, {}, true},
+      {"power", "W", -1.0, {}, {}, 18e-3, true},
+      {"noise", "A/sqrt(Hz)", -1.0, {}, {}, 200e-12, true},
+      {"peaking", "dB", -1.0, 0.0, {}, 3.0, false},
+  };
+  bc.fom = fom;
+
+  // --- measurement plan --------------------------------------------------
+  const Technology tech_copy = tech;
+  bc.evaluate = [vout, in, tech_copy](const Netlist& sized) {
+    sim::Simulator s(sized, tech_copy);
+    env::MetricMap m;
+    m["power"] = s.supply_power();
+    const auto freqs = sim::logspace(1e3, 1e11, 97);
+    const auto ac = s.ac(freqs);
+    const auto h = detail::curve_at(ac, vout);
+    m["gain"] = meas::dc_gain(h);
+    m["bw"] = meas::bandwidth_3db(h);
+    m["peaking"] = meas::peaking_db(h);
+    m["gbw"] = m["gain"] * m["bw"];
+    // Input-referred current-noise spot density at 100 kHz.
+    const auto nr = s.noise({1e5}, vout, 0);
+    m["noise"] = detail::input_referred_noise(nr, h, 1e5);
+    (void)in;
+    return m;
+  };
+
+  // --- human-expert reference sizing ------------------------------------
+  // First-order hand design at the 180 nm node: ~200 uA in the gain stage
+  // (T3 = 4x mirror of 50 uA), gm1 ~ 2.5 mS, RF = 20 kOhm for ~20 kOhm
+  // transimpedance with BW ~ gm1 / (2 pi Cin RF Cgs-ish loading).
+  {
+    circuit::DesignParams p;
+    const double l = tech.lmin;
+    p.v = {
+        {60e-6, l, 2},   // T1
+        {10e-6, l, 1},   // T2
+        {30e-6, l, 4},   // T3
+        {30e-6, l, 1},   // T4
+        {40e-6, l, 2},   // T5
+        {10e-6, l, 4},   // T6
+        {10e-6, l, 1},   // T7
+        {20e3, 0, 0},    // RF
+        {10e3, 0, 0},    // R6
+    };
+    bc.human_expert = p;
+  }
+  return bc;
+}
+
+}  // namespace gcnrl::circuits

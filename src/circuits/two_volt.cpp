@@ -1,0 +1,267 @@
+// Two-stage fully-differential voltage amplifier (Fig. 6b analogue).
+//
+// Gain path: PMOS input pair (mp_in1/2 under tail mp_tail) with split
+// first-stage loads — CMFB-controlled current sinks (mn_ld1/2) in
+// parallel with diode-connected devices (mn_dd1/2). The diodes are
+// essential, not optional: the capacitor feedback network couples the
+// output COMMON mode back to the input gates, and the two-stage CM path
+// through the pair is positive; with high-impedance-only loads its loop
+// gain exceeds unity and the amplifier CM latches. The diodes set the
+// stage-1 impedance to ~1/gm_dd, crushing the CM gain (~Z1/2ro_tail)
+// below unity while defining a clean DM gain gm_p/gm_dd.
+// Second stage: NMOS common source (mn_cs1/2, cross-coupled inputs so
+// the per-side path ga -> voa is inverting) with PMOS current-source
+// loads. Miller caps cm_a/b compensate across the second stage. The
+// closed loop is set by capacitor ratio CS/CF (plus 1 GOhm DC-bias
+// resistors).
+// CMFB: resistive sense to vsense, PMOS error pair with NMOS *diode*
+// loads. The diode loads center the control voltage one VGS above ground
+// — exactly the level the NMOS stage-1 load gates need (a PMOS-diode-
+// loaded error amp could never swing low enough to turn them off and the
+// amplifier would latch with railed outputs). Control is taken at the
+// vsense-driven leg: vsense up -> less PMOS current -> vcmfb down ->
+// loads sink less -> stage-1 outputs up -> outputs down: negative loop.
+// Bias: IBIAS through a PMOS diode makes the PMOS rail.
+//
+// Searched: 17 MOS (W, L, M) + CS/CF/Miller cap pairs -> 57 parameters.
+// Metrics (paper Table III): closed-loop BW, common-mode phase margin
+// (CPM), differential phase margin (DPM), power, input-referred noise,
+// open-loop gain; GBW = gain x BW alongside.
+#include "circuits/benchmark_circuits.hpp"
+
+#include "circuits/helpers.hpp"
+
+namespace gcnrl::circuits {
+
+using circuit::Netlist;
+using circuit::Technology;
+
+env::BenchmarkCircuit make_two_volt(const Technology& tech) {
+  env::BenchmarkCircuit bc;
+  bc.name = "Two-Volt";
+  bc.tech = tech;
+
+  Netlist& nl = bc.netlist;
+  const int vdd = nl.node("vdd");
+  nl.mark_supply("vdd");
+  const int vbp = nl.node("vbp");
+  const int tailp = nl.node("tailp");
+  const int o1a = nl.node("o1a");
+  const int o1b = nl.node("o1b");
+  const int voa = nl.node("voa");
+  const int vob = nl.node("vob");
+  const int vsense = nl.node("vsense");
+  const int x2 = nl.node("x2");
+  const int vcmfb = nl.node("vcmfb");
+  const int tcm = nl.node("tcm");
+  const int ga = nl.node("ga");
+  const int gb = nl.node("gb");
+  const int ina = nl.node("ina");
+  const int inb = nl.node("inb");
+  const int vcmref = nl.node("vcmref");
+
+  const double ib = 50e-6 * (tech.vdd / 1.8);
+  nl.add_vsource("VDD", vdd, 0, tech.vdd);
+  nl.add_vsource("VCMREF", vcmref, 0, tech.vdd / 2.0);
+  nl.add_isource("IBIAS", vbp, 0, ib);  // pulls ib out of the PMOS diode
+  nl.add_vsource("VSA", ina, 0, 0.0, /*ac=*/+0.5);
+  nl.add_vsource("VSB", inb, 0, 0.0, /*ac=*/-0.5);
+
+  const double l = tech.lmin;
+  // Gain path.
+  nl.add_pmos("mp_tail", tailp, vbp, vdd, vdd, 40e-6, 2 * l, 2);
+  nl.add_pmos("mp_in1", o1a, ga, tailp, vdd, 40e-6, 2 * l, 2);
+  nl.add_pmos("mp_in2", o1b, gb, tailp, vdd, 40e-6, 2 * l, 2);
+  nl.add_nmos("mn_ld1", o1a, vcmfb, 0, 0, 10e-6, 2 * l, 2);
+  nl.add_nmos("mn_ld2", o1b, vcmfb, 0, 0, 10e-6, 2 * l, 2);
+  nl.add_nmos("mn_dd1", o1a, o1a, 0, 0, 8e-6, 2 * l, 1);
+  nl.add_nmos("mn_dd2", o1b, o1b, 0, 0, 8e-6, 2 * l, 1);
+  // Second stage: inputs crossed so ga -> voa has odd inversion count.
+  nl.add_nmos("mn_cs1", voa, o1b, 0, 0, 30e-6, l, 2);
+  nl.add_nmos("mn_cs2", vob, o1a, 0, 0, 30e-6, l, 2);
+  nl.add_pmos("mp_ld1", voa, vbp, vdd, vdd, 30e-6, 2 * l, 2);
+  nl.add_pmos("mp_ld2", vob, vbp, vdd, vdd, 30e-6, 2 * l, 2);
+  // CMFB error amplifier: PMOS pair, NMOS diode loads, control at the
+  // vsense leg (see header comment for the level/polarity argument).
+  nl.add_pmos("mcm1", vcmfb, vsense, tcm, vdd, 10e-6, 2 * l, 1);
+  nl.add_pmos("mcm2", x2, vcmref, tcm, vdd, 10e-6, 2 * l, 1);
+  nl.add_nmos("mcm_ld1", vcmfb, vcmfb, 0, 0, 5e-6, 2 * l, 1);
+  nl.add_nmos("mcm_ld2", x2, x2, 0, 0, 5e-6, 2 * l, 1);
+  nl.add_pmos("mcm_tail", tcm, vbp, vdd, vdd, 20e-6, 2 * l, 1);
+  // Bias rail.
+  nl.add_pmos("mb_p", vbp, vbp, vdd, vdd, 20e-6, 2 * l, 1);
+  // Capacitors: closed-loop network + Miller compensation.
+  nl.add_capacitor("cs_a", ina, ga, 2e-12);
+  nl.add_capacitor("cs_b", inb, gb, 2e-12);
+  nl.add_capacitor("cf_a", ga, voa, 1e-12);
+  nl.add_capacitor("cf_b", gb, vob, 1e-12);
+  nl.add_capacitor("cm_a", o1b, voa, 1e-12);
+  nl.add_capacitor("cm_b", o1a, vob, 1e-12);
+  // Fixed elements: CMFB sense (with phase-lead caps), DC bias, loads,
+  // and a dominant-pole cap on the CM control node — standard CMFB
+  // compensation so the common-mode loop crosses over with margin.
+  nl.add_resistor("rs_a", voa, vsense, 1e6, false);
+  nl.add_resistor("rs_b", vob, vsense, 1e6, false);
+  nl.add_capacitor("cls_a", voa, nl.node("vsense"), 600e-15, false);
+  nl.add_capacitor("cls_b", vob, nl.node("vsense"), 600e-15, false);
+  nl.add_capacitor("ccm", nl.node("vcmfb"), 0, 1e-12, false);
+  nl.add_resistor("rb_a", voa, ga, 1e9, false);
+  nl.add_resistor("rb_b", vob, gb, 1e9, false);
+  nl.add_capacitor("cl_a", voa, 0, 1e-12, false);
+  nl.add_capacitor("cl_b", vob, 0, 1e-12, false);
+  // Gate-grounding caps: lower the feedback factor of BOTH the wanted DM
+  // loop and the parasitic positive CM loop (beta = CF/(CF+CS+Cg)),
+  // buying common-mode stability at a small DM loop-gain cost.
+  nl.add_capacitor("cg_a", ga, 0, 2e-12, false);
+  nl.add_capacitor("cg_b", gb, 0, 2e-12, false);
+
+  bc.space = circuit::DesignSpace::from_netlist(nl, tech);
+  bc.space.add_match_group(nl, {"mp_in1", "mp_in2"});
+  bc.space.add_match_group(nl, {"mn_ld1", "mn_ld2"});
+  bc.space.add_match_group(nl, {"mn_dd1", "mn_dd2"});
+  bc.space.add_match_group(nl, {"mn_cs1", "mn_cs2"});
+  bc.space.add_match_group(nl, {"mp_ld1", "mp_ld2"});
+  bc.space.add_match_group(nl, {"mcm1", "mcm2"});
+  bc.space.add_match_group(nl, {"mcm_ld1", "mcm_ld2"});
+  bc.space.add_match_group(nl, {"cs_a", "cs_b"});
+  bc.space.add_match_group(nl, {"cf_a", "cf_b"});
+  bc.space.add_match_group(nl, {"cm_a", "cm_b"});
+  bc.space.add_match_group(
+      nl, {"mb_p", "mp_tail", "mp_ld1", "mp_ld2", "mcm_tail"},
+      /*l_only=*/true);
+
+  env::FomSpec fom;
+  fom.metrics = {
+      // name, unit, weight, bound, spec_min, spec_max, log_norm
+      {"bw", "Hz", +1.0, {}, 1e6, {}, true},
+      {"cpm", "deg", +1.0, {}, {}, {}, false},
+      {"dpm", "deg", +1.0, {}, {}, {}, false},
+      {"power", "W", -1.0, {}, {}, {}, true},
+      {"noise", "V/sqrt(Hz)", -1.0, {}, {}, {}, true},
+      {"gain", "V/V", +1.0, {}, 100.0, {}, true},
+  };
+  // Functionality spec: without a gain/BW floor the FoM's phase-margin
+  // and bandwidth terms reward DEAD amplifiers (no unity crossing reports
+  // PM = 180, a flat response reports BW = the last swept frequency).
+  bc.fom = fom;
+
+  const Technology tech_copy = tech;
+  bc.evaluate = [=](const Netlist& sized) {
+    env::MetricMap m;
+    const auto freqs = sim::logspace(1e2, 1e10, 81);
+
+    // --- closed loop: BW, noise, power, and the gate operating point ----
+    double vg_op = 0.0;
+    double vcmfb_op = 0.0;
+    {
+      sim::Simulator s(sized, tech_copy);
+      vg_op = s.op().node(ga);
+      vcmfb_op = s.op().node(vcmfb);
+      m["power"] = s.supply_power();
+      const auto ac = s.ac(freqs);
+      const auto h_cl = detail::curve_diff(ac, voa, vob);
+      m["bw"] = meas::bandwidth_3db(h_cl);
+      const auto nr = s.noise({1e5}, voa, vob);
+      m["noise"] = detail::input_referred_noise(nr, h_cl, 1e5);
+    }
+
+    // --- open loop: gain, GBW, differential phase margin -----------------
+    {
+      Netlist ol = sized;
+      ol.find_vsource("VSA")->ac = 0.0;
+      ol.find_vsource("VSB")->ac = 0.0;
+      ol.add_vsource("VGA", ga, 0, vg_op, /*ac=*/+0.5);
+      ol.add_vsource("VGB", gb, 0, vg_op, /*ac=*/-0.5);
+      sim::Simulator s(ol, tech_copy);
+      const auto ac = s.ac(freqs);
+      auto a_curve = detail::curve_diff(ac, voa, vob);
+      m["gain"] = meas::dc_gain(a_curve);
+      m["gbw"] = m["gain"] * m["bw"];
+      // Loop gain T = -A * beta with beta = CF / (CF + CS); the minus sign
+      // converts the inverting path into return-ratio convention.
+      const double cs_val = sized.capacitors()[0].c;
+      const double cf_val = sized.capacitors()[2].c;
+      const double beta = cf_val / (cf_val + cs_val + 2e-12);
+      meas::AcCurve t_curve = a_curve;
+      for (auto& hh : t_curve.h) hh *= -beta;
+      m["dpm"] = meas::phase_margin_deg(t_curve);
+    }
+
+    // --- CMFB loop gain: common-mode phase margin ------------------------
+    // Series (Middlebrook-style) voltage injection between the error-amp
+    // output and the load gates: the DC loop stays closed (a hard break
+    // leaves the high-impedance stage-1 nodes with two fighting current
+    // sources and no solvable operating point), while the AC source
+    // separates forward and return waves. T = -V(return)/V(forward).
+    {
+      Netlist cm = sized;
+      cm.find_vsource("VSA")->ac = 0.0;
+      cm.find_vsource("VSB")->ac = 0.0;
+      const int drv = cm.node("vcmfb_drv");
+      cm.set_mos_gate("mn_ld1", drv);
+      cm.set_mos_gate("mn_ld2", drv);
+      cm.add_vsource("VCMINJ", drv, vcmfb, 0.0, /*ac=*/1.0);
+      sim::Simulator s(cm, tech_copy);
+      const auto ac = s.ac(freqs);
+      const auto v_ret = detail::curve_at(ac, vcmfb);
+      const auto v_fwd = detail::curve_at(ac, drv);
+      meas::AcCurve t_curve = v_ret;
+      for (std::size_t i = 0; i < t_curve.h.size(); ++i) {
+        t_curve.h[i] = -v_ret.h[i] / v_fwd.h[i];
+      }
+      m["cpm"] = meas::phase_margin_deg(t_curve);
+    }
+    (void)vcmfb_op;
+    return m;
+  };
+
+  // Human-expert reference (first-order): ~230 uA tail / ~190 uA output
+  // stages, long (4L) PMOS mirrors for tail/load output resistance,
+  // CS/CF = 2 for a gain-of-2 closed loop, 1 pF Miller caps, stage-1
+  // diodes at ~1/4 of the load current.
+  {
+    circuit::DesignParams p;
+    p.v = {
+        {48e-6, 3 * l, 2},  // mp_tail
+        {40e-6, 2 * l, 2},  // mp_in1
+        {40e-6, 2 * l, 2},  // mp_in2
+        {10e-6, 2 * l, 2},  // mn_ld1
+        {10e-6, 2 * l, 2},  // mn_ld2
+        {16e-6, 2 * l, 1},  // mn_dd1
+        {16e-6, 2 * l, 1},  // mn_dd2
+        {30e-6, l, 2},      // mn_cs1
+        {30e-6, l, 2},      // mn_cs2
+        {36e-6, 3 * l, 2},  // mp_ld1
+        {36e-6, 3 * l, 2},  // mp_ld2
+        {16e-6, 2 * l, 1},  // mcm1
+        {16e-6, 2 * l, 1},  // mcm2
+        {5e-6, 2 * l, 1},   // mcm_ld1
+        {5e-6, 2 * l, 1},   // mcm_ld2
+        {20e-6, 3 * l, 1},  // mcm_tail
+        {20e-6, 3 * l, 1},  // mb_p
+        {2e-12, 0, 0},      // cs_a
+        {2e-12, 0, 0},      // cs_b
+        {1e-12, 0, 0},      // cf_a
+        {1e-12, 0, 0},      // cf_b
+        {1e-12, 0, 0},      // cm_a
+        {1e-12, 0, 0},      // cm_b
+    };
+    bc.human_expert = p;
+  }
+  return bc;
+}
+
+env::BenchmarkCircuit make_benchmark(const std::string& name,
+                                     const Technology& tech) {
+  if (name == "Two-TIA") return make_two_tia(tech);
+  if (name == "Two-Volt") return make_two_volt(tech);
+  if (name == "Three-TIA") return make_three_tia(tech);
+  if (name == "LDO") return make_ldo(tech);
+  throw std::invalid_argument("make_benchmark: unknown circuit " + name);
+}
+
+std::vector<std::string> benchmark_names() {
+  return {"Two-TIA", "Two-Volt", "Three-TIA", "LDO"};
+}
+
+}  // namespace gcnrl::circuits

@@ -1,0 +1,47 @@
+#include "common/envcfg.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace gcnrl {
+
+int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  try {
+    return std::stoi(raw);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && std::string(raw) != "0" && std::string(raw) != "";
+}
+
+BenchConfig bench_config() {
+  BenchConfig cfg;
+  if (env_flag("GCNRL_FULL")) {
+    cfg.full = true;
+    cfg.steps = 10000;
+    cfg.warmup = 500;
+    cfg.transfer_steps = 300;
+    cfg.transfer_warmup = 100;
+    cfg.seeds = 3;
+    cfg.calib_samples = 5000;
+  }
+  cfg.steps = env_int("GCNRL_STEPS", cfg.steps);
+  cfg.seeds = env_int("GCNRL_SEEDS", cfg.seeds);
+  cfg.calib_samples = env_int("GCNRL_CALIB", cfg.calib_samples);
+  cfg.warmup = env_int("GCNRL_WARMUP", cfg.warmup);
+  cfg.transfer_steps = env_int("GCNRL_TRANSFER_STEPS", cfg.transfer_steps);
+  cfg.transfer_warmup = env_int("GCNRL_TRANSFER_WARMUP", cfg.transfer_warmup);
+  if (cfg.warmup >= cfg.steps) cfg.warmup = cfg.steps / 3;
+  if (cfg.transfer_warmup >= cfg.transfer_steps) {
+    cfg.transfer_warmup = cfg.transfer_steps / 3;
+  }
+  return cfg;
+}
+
+}  // namespace gcnrl

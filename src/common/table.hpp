@@ -1,0 +1,45 @@
+// Console table + CSV emission used by the benchmark harnesses to print
+// paper-style tables (paper reference value next to measured value) and to
+// dump figure series for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gcnrl {
+
+// A simple fixed-column text table. Column widths auto-size to content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  // Render with aligned columns and a header separator.
+  [[nodiscard]] std::string str() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Minimal CSV writer (no quoting needs beyond commas in our data).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header
+};
+
+}  // namespace gcnrl

@@ -1,0 +1,116 @@
+#include "env/fom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnrl::env {
+
+double MetricDef::normalized(double m) const {
+  const double capped = weight >= 0.0 ? (bound ? std::min(m, *bound) : m)
+                                      : (bound ? std::max(m, *bound) : m);
+  double t = 0.0;
+  if (log_norm && mmin > 0.0 && mmax > mmin) {
+    const double lspan = std::log(mmax / mmin);
+    t = std::log(std::clamp(capped, mmin, mmax) / mmin) / lspan;
+  } else {
+    const double span = mmax - mmin;
+    if (span <= 0.0) return 0.0;
+    t = (capped - mmin) / span;
+  }
+  if (weight < 0.0) t = 1.0 - t;
+  // Saturate outside the calibrated range: a finite random sample cannot
+  // cover the extreme tails, and without saturation a single blown-out
+  // metric (e.g. gain far beyond anything calibration saw) would dominate
+  // the whole FoM and break its [0, sum|w|] interpretation.
+  return std::clamp(t, 0.0, 1.0);
+}
+
+bool MetricDef::spec_ok(double m) const {
+  if (spec_min && m < *spec_min) return false;
+  if (spec_max && m > *spec_max) return false;
+  return true;
+}
+
+MetricDef* FomSpec::find(const std::string& name) {
+  for (auto& md : metrics) {
+    if (md.name == name) return &md;
+  }
+  return nullptr;
+}
+
+const MetricDef* FomSpec::find(const std::string& name) const {
+  for (const auto& md : metrics) {
+    if (md.name == name) return &md;
+  }
+  return nullptr;
+}
+
+void FomSpec::set_weight(const std::string& name, double w) {
+  MetricDef* md = find(name);
+  if (md == nullptr) {
+    throw std::invalid_argument("FomSpec::set_weight: unknown metric " + name);
+  }
+  md->weight = w;
+}
+
+bool FomSpec::spec_ok(const MetricMap& m) const {
+  for (const auto& md : metrics) {
+    auto it = m.find(md.name);
+    if (it == m.end() || !std::isfinite(it->second)) return false;
+    if (!md.spec_ok(it->second)) return false;
+  }
+  return true;
+}
+
+double FomSpec::fom(const MetricMap& m) const {
+  if (enforce_spec && !spec_ok(m)) return spec_fail_fom;
+  double acc = 0.0;
+  for (const auto& md : metrics) {
+    auto it = m.find(md.name);
+    if (it == m.end() || !std::isfinite(it->second)) return sim_fail_fom;
+    acc += std::fabs(md.weight) * md.normalized(it->second);
+  }
+  return acc;
+}
+
+void FomSpec::calibrate(const std::vector<MetricMap>& samples) {
+  for (auto& md : metrics) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto& s : samples) {
+      auto it = s.find(md.name);
+      if (it == s.end() || !std::isfinite(it->second)) continue;
+      // Log-normalized metrics ignore non-positive samples for the lower
+      // normalizer (a settling time of exactly zero has no log image).
+      if (!(md.log_norm && it->second <= 0.0)) lo = std::min(lo, it->second);
+      hi = std::max(hi, it->second);
+    }
+    if (!std::isfinite(hi)) {
+      throw std::runtime_error("FomSpec::calibrate: no samples for metric " +
+                               md.name);
+    }
+    if (md.log_norm) {
+      if (!std::isfinite(lo) || lo <= 0.0) lo = std::max(hi * 1e-6, 1e-15);
+      if (hi <= lo) hi = lo * 10.0;
+    } else {
+      if (!std::isfinite(lo)) lo = hi;
+      if (hi - lo < 1e-30) {
+        // Degenerate: all samples identical; widen symmetrically.
+        const double pad = std::max(std::fabs(hi), 1.0);
+        lo -= 0.5 * pad;
+        hi += 0.5 * pad;
+      }
+    }
+    md.mmin = lo;
+    md.mmax = hi;
+  }
+}
+
+double FomSpec::max_fom() const {
+  double acc = 0.0;
+  for (const auto& md : metrics) acc += std::fabs(md.weight);
+  return acc;
+}
+
+}  // namespace gcnrl::env

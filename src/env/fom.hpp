@@ -1,0 +1,78 @@
+// Figure of Merit (paper Eq. 2).
+//
+//   FoM = sum_i w_i * (min(m_i, m_i^bound) - m_i^min) / (m_i^max - m_i^min)
+//
+// with w_i = +1 for larger-is-better metrics and w_i = -1 for smaller-is-
+// better ones. As in the paper, the normalizers m^min / m^max come from
+// random-sampling calibration. Metrics with negative weight contribute
+// |w| * (m^max - m) / (m^max - m^min), i.e. the direction-flipped
+// normalization — this is the only reading under which the paper's
+// reported FoM magnitudes (e.g. 2.72 over five +/-1-weighted metrics) are
+// reachable, since a signed sum of [0,1] terms could never exceed the
+// number of positive metrics.
+//
+// If a performance spec exists and is violated, the FoM is a fixed
+// negative value (paper Sec. III-A); simulator failures map to an even
+// lower value so "didn't converge" is always worse than "converged but
+// missed spec".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gcnrl::env {
+
+using MetricMap = std::map<std::string, double>;
+
+struct MetricDef {
+  std::string name;
+  std::string unit;
+  double weight = 1.0;  // sign encodes direction, magnitude the emphasis
+  // Optional diminishing-returns bound (paper's m^bound): beyond it the
+  // metric stops improving the FoM. For larger-is-better metrics this caps
+  // from above; for smaller-is-better it floors from below.
+  std::optional<double> bound;
+  // Optional hard spec window.
+  std::optional<double> spec_min;
+  std::optional<double> spec_max;
+  // Normalize in log space. Essential for metrics whose calibrated range
+  // spans decades (bandwidth, gain, noise, settling time): a linear map
+  // would collapse all but the extreme tail onto ~0 or ~1 and destroy the
+  // FoM's ability to discriminate between designs.
+  bool log_norm = false;
+  // Calibrated normalizers.
+  double mmin = 0.0;
+  double mmax = 1.0;
+
+  [[nodiscard]] double normalized(double m) const;
+  [[nodiscard]] bool spec_ok(double m) const;
+};
+
+struct FomSpec {
+  std::vector<MetricDef> metrics;
+  bool enforce_spec = true;
+  double spec_fail_fom = -1.0;
+  double sim_fail_fom = -2.0;
+
+  [[nodiscard]] MetricDef* find(const std::string& name);
+  [[nodiscard]] const MetricDef* find(const std::string& name) const;
+  void set_weight(const std::string& name, double w);
+
+  // FoM of a metric map (metrics absent from the map are treated as spec
+  // failures — a measurement that could not be taken is a failed design).
+  [[nodiscard]] double fom(const MetricMap& m) const;
+  [[nodiscard]] bool spec_ok(const MetricMap& m) const;
+
+  // Update mmin/mmax from a set of sampled metric maps (paper: min/max of
+  // 5000 random designs). Degenerate ranges get a unit span around the
+  // value so the FoM stays finite.
+  void calibrate(const std::vector<MetricMap>& samples);
+
+  // Maximum achievable FoM = sum of |w_i| (each term normalizes to <= 1
+  // inside the calibrated range).
+  [[nodiscard]] double max_fom() const;
+};
+
+}  // namespace gcnrl::env

@@ -1,0 +1,91 @@
+#include "env/sizing_env.hpp"
+
+#include "la/stats.hpp"
+#include "sim/mna.hpp"
+
+namespace gcnrl::env {
+
+SizingEnv::SizingEnv(BenchmarkCircuit bc, IndexMode mode)
+    : bc_(std::move(bc)), mode_(mode) {
+  n_ = bc_.netlist.num_design_components();
+  adjacency_ = circuit::build_adjacency(bc_.netlist);
+  kinds_.reserve(n_);
+  for (int i = 0; i < n_; ++i) kinds_.push_back(bc_.netlist.design_kind(i));
+  build_state();
+}
+
+void SizingEnv::build_state() {
+  const int idx_dim = mode_ == IndexMode::OneHot ? n_ : 1;
+  const int dim = idx_dim + circuit::kNumKinds + 5;
+  state_ = la::Mat(n_, dim);
+  for (int i = 0; i < n_; ++i) {
+    if (mode_ == IndexMode::OneHot) {
+      state_(i, i) = 1.0;
+    } else {
+      state_(i, 0) = static_cast<double>(i);
+    }
+    state_(i, idx_dim + static_cast<int>(kinds_[i])) = 1.0;
+    const auto feats = bc_.tech.model_features(kinds_[i]);
+    for (int f = 0; f < 5; ++f) {
+      state_(i, idx_dim + circuit::kNumKinds + f) = feats[f];
+    }
+  }
+  // Paper: "we normalize [each dimension] by the mean and standard
+  // deviation across different components".
+  la::normalize_columns(state_);
+}
+
+EvalResult SizingEnv::step(const la::Mat& actions) {
+  ++num_evals_;
+  EvalResult out;
+  out.params = bc_.space.refine(actions);
+  circuit::Netlist sized = bc_.netlist;
+  bc_.space.apply(sized, out.params);
+  try {
+    out.metrics = bc_.evaluate(sized);
+    out.sim_ok = true;
+  } catch (const sim::SimError&) {
+    out.sim_ok = false;
+    out.fom = bc_.fom.sim_fail_fom;
+    return out;
+  }
+  out.spec_ok = bc_.fom.spec_ok(out.metrics);
+  out.fom = bc_.fom.fom(out.metrics);
+  return out;
+}
+
+EvalResult SizingEnv::step_flat(std::span<const double> x) {
+  return step(bc_.space.unflatten(x));
+}
+
+EvalResult SizingEnv::evaluate_params(const circuit::DesignParams& p) {
+  return step(bc_.space.actions_from_params(p));
+}
+
+int SizingEnv::calibrate(int samples, Rng& rng) {
+  std::vector<MetricMap> ok;
+  ok.reserve(samples);
+  for (int s = 0; s < samples; ++s) {
+    const la::Mat a = bc_.space.random_actions(rng);
+    const auto params = bc_.space.refine(a);
+    circuit::Netlist sized = bc_.netlist;
+    bc_.space.apply(sized, params);
+    try {
+      MetricMap m = bc_.evaluate(sized);
+      bool finite = true;
+      for (const auto& [k, v] : m) {
+        if (!std::isfinite(v)) {
+          finite = false;
+          break;
+        }
+      }
+      if (finite) ok.push_back(std::move(m));
+    } catch (const sim::SimError&) {
+      // Failed random designs simply don't contribute to the normalizers.
+    }
+  }
+  if (!ok.empty()) bc_.fom.calibrate(ok);
+  return static_cast<int>(ok.size());
+}
+
+}  // namespace gcnrl::env

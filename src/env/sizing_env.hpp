@@ -1,0 +1,100 @@
+// The sizing environment: one "episode" of the paper's six-step loop
+// (Fig. 2): embed topology -> states -> actions -> refine -> simulate ->
+// reward.
+//
+// A BenchmarkCircuit bundles everything a circuit contributes: netlist,
+// design space (+ matching groups), FoM definition, the measurement plan
+// (an `evaluate` closure that runs the analysis testbenches on a sized
+// netlist), and a human-expert reference sizing.
+//
+// State vector s_k = (k, t, h) per component k (paper Sec. III-C):
+//   k  one-hot component index (fixed-topology mode) or scalar index
+//      (topology-transfer mode — keeps the state dimension identical
+//      across circuits, Sec. III-E);
+//   t  one-hot of the 4 component types;
+//   h  5 technology model features (Vsat, Vth0, Vfb, mu0, Uc; zero for
+//      R/C).
+// Each state dimension is normalized by mean/std across components.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "circuit/design_space.hpp"
+#include "circuit/graph.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/tech.hpp"
+#include "common/rng.hpp"
+#include "env/fom.hpp"
+
+namespace gcnrl::env {
+
+struct BenchmarkCircuit {
+  std::string name;
+  circuit::Technology tech;
+  circuit::Netlist netlist;
+  circuit::DesignSpace space;
+  FomSpec fom;
+  // Runs all analyses on a sized netlist; throws sim::SimError on failure.
+  std::function<MetricMap(const circuit::Netlist&)> evaluate;
+  circuit::DesignParams human_expert;
+};
+
+enum class IndexMode { OneHot, Scalar };
+
+struct EvalResult {
+  double fom = 0.0;
+  bool sim_ok = false;
+  bool spec_ok = false;
+  MetricMap metrics;
+  circuit::DesignParams params;
+};
+
+class SizingEnv {
+ public:
+  explicit SizingEnv(BenchmarkCircuit bc, IndexMode mode = IndexMode::OneHot);
+
+  // --- topology view ---------------------------------------------------
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int state_dim() const { return state_.cols(); }
+  [[nodiscard]] const la::Mat& state() const { return state_; }
+  [[nodiscard]] const la::Mat& adjacency() const { return adjacency_; }
+  [[nodiscard]] const std::vector<circuit::Kind>& kinds() const {
+    return kinds_;
+  }
+  [[nodiscard]] IndexMode index_mode() const { return mode_; }
+
+  // --- evaluation ------------------------------------------------------
+  // actions: n x kMaxActionDim in [-1, 1].
+  EvalResult step(const la::Mat& actions);
+  // Flattened view for the black-box baselines.
+  EvalResult step_flat(std::span<const double> x);
+  [[nodiscard]] int flat_dim() const { return bc_.space.flat_dim(); }
+  // Evaluate explicit parameters (the human-expert anchor) through the
+  // identical refine -> simulate -> FoM pipeline.
+  EvalResult evaluate_params(const circuit::DesignParams& p);
+
+  la::Mat random_actions(Rng& rng) { return bc_.space.random_actions(rng); }
+
+  // FoM normalizer calibration by random sampling (paper: 5000 samples).
+  // Returns the number of successfully simulated samples.
+  int calibrate(int samples, Rng& rng);
+
+  [[nodiscard]] const BenchmarkCircuit& bench() const { return bc_; }
+  BenchmarkCircuit& bench() { return bc_; }
+  [[nodiscard]] long num_evals() const { return num_evals_; }
+
+ private:
+  void build_state();
+
+  BenchmarkCircuit bc_;
+  IndexMode mode_;
+  int n_ = 0;
+  la::Mat adjacency_;
+  la::Mat state_;
+  std::vector<circuit::Kind> kinds_;
+  long num_evals_ = 0;
+};
+
+}  // namespace gcnrl::env

@@ -1,0 +1,55 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+namespace gcnrl::la {
+
+Cholesky::Cholesky(const Mat& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  const int n = a.rows();
+  l_ = Mat(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          throw NotPositiveDefiniteError{};
+        }
+        l_(i, i) = std::sqrt(sum);
+      } else {
+        l_(i, j) = sum / l_(j, j);
+      }
+    }
+  }
+}
+
+std::vector<double> Cholesky::solve_lower(const std::vector<double>& b) const {
+  const int n = l_.rows();
+  std::vector<double> y(b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) y[i] -= l_(i, j) * y[j];
+    y[i] /= l_(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double>& b) const {
+  const int n = l_.rows();
+  std::vector<double> y = solve_lower(b);
+  for (int i = n - 1; i >= 0; --i) {
+    for (int j = i + 1; j < n; ++j) y[i] -= l_(j, i) * y[j];
+    y[i] /= l_(i, i);
+  }
+  return y;
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (int i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+}  // namespace gcnrl::la

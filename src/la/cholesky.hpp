@@ -1,0 +1,37 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// Used by the Gaussian-process surrogate in the Bayesian-optimization
+// baselines (kernel matrices are SPD after jitter).
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace gcnrl::la {
+
+struct NotPositiveDefiniteError : std::runtime_error {
+  NotPositiveDefiniteError()
+      : std::runtime_error("Cholesky: matrix is not positive definite") {}
+};
+
+class Cholesky {
+ public:
+  // Factors A = L L^T. Throws NotPositiveDefiniteError if A is not SPD.
+  explicit Cholesky(const Mat& a);
+
+  // Solve A x = b.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+  // Solve L y = b (forward substitution only).
+  [[nodiscard]] std::vector<double> solve_lower(
+      const std::vector<double>& b) const;
+  // log |A| = 2 * sum(log diag(L)); needed for GP marginal likelihood.
+  [[nodiscard]] double log_det() const;
+  [[nodiscard]] const Mat& lower() const { return l_; }
+
+ private:
+  Mat l_;
+};
+
+}  // namespace gcnrl::la

@@ -1,0 +1,14 @@
+#include "la/lu.hpp"
+
+namespace gcnrl::la {
+
+std::vector<double> solve(const Mat& a, const std::vector<double>& b) {
+  return Lu<double>(a).solve(b);
+}
+
+std::vector<std::complex<double>> solve(
+    const CMat& a, const std::vector<std::complex<double>>& b) {
+  return Lu<std::complex<double>>(a).solve(b);
+}
+
+}  // namespace gcnrl::la

@@ -1,0 +1,32 @@
+#include "la/matrix.hpp"
+
+#include <cmath>
+
+namespace gcnrl::la {
+
+double frobenius_norm(const Mat& m) {
+  double acc = 0.0;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) acc += m(r, c) * m(r, c);
+  }
+  return std::sqrt(acc);
+}
+
+double max_abs(const Mat& m) {
+  double acc = 0.0;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) acc = std::max(acc, std::abs(m(r, c)));
+  }
+  return acc;
+}
+
+bool all_finite(const Mat& m) {
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gcnrl::la

@@ -1,0 +1,180 @@
+// Dense row-major matrix over double or std::complex<double>.
+//
+// This is the numerical workhorse shared by the neural-network stack
+// (real matrices) and the circuit simulator's MNA systems (complex
+// matrices for AC analysis). It deliberately stays small: dynamic 2-D
+// storage, elementwise arithmetic, and a cache-friendly matmul. Anything
+// fancier (LU, Cholesky) lives in sibling headers.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace gcnrl::la {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, T fill = T{})
+      : rows_(rows), cols_(cols), d_(static_cast<std::size_t>(rows) * cols, fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = static_cast<int>(rows.size());
+    cols_ = rows_ > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+    d_.reserve(static_cast<std::size_t>(rows_) * cols_);
+    for (const auto& r : rows) {
+      assert(static_cast<int>(r.size()) == cols_);
+      d_.insert(d_.end(), r.begin(), r.end());
+    }
+  }
+
+  static Matrix zeros(int r, int c) { return Matrix(r, c); }
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+  static Matrix filled(int r, int c, T v) { return Matrix(r, c, v); }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return d_.size(); }
+  [[nodiscard]] bool empty() const { return d_.empty(); }
+
+  T& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return d_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return d_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  T* data() { return d_.data(); }
+  const T* data() const { return d_.data(); }
+  T* row_ptr(int r) { return d_.data() + static_cast<std::size_t>(r) * cols_; }
+  const T* row_ptr(int r) const {
+    return d_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    assert(same_shape(o));
+    for (std::size_t i = 0; i < d_.size(); ++i) d_[i] += o.d_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    assert(same_shape(o));
+    for (std::size_t i = 0; i < d_.size(); ++i) d_[i] -= o.d_[i];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& v : d_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+  [[nodiscard]] Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    }
+    return t;
+  }
+
+  [[nodiscard]] bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  void fill(T v) {
+    for (auto& x : d_) x = v;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> d_;
+};
+
+using Mat = Matrix<double>;
+using CMat = Matrix<std::complex<double>>;
+
+// C = A * B with an i-k-j loop order (streams B's rows; vectorizes well).
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.cols() == b.rows());
+  Matrix<T> c(a.rows(), b.cols());
+  const int n = a.rows(), k_dim = a.cols(), m = b.cols();
+  for (int i = 0; i < n; ++i) {
+    T* __restrict ci = c.row_ptr(i);
+    for (int k = 0; k < k_dim; ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) continue;
+      const T* __restrict bk = b.row_ptr(k);
+      for (int j = 0; j < m; ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+// C = A^T * B without materializing the transpose (hot in backprop).
+template <typename T>
+Matrix<T> matmul_tn(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.rows() == b.rows());
+  Matrix<T> c(a.cols(), b.cols());
+  const int n = a.rows(), p = a.cols(), m = b.cols();
+  for (int k = 0; k < n; ++k) {
+    const T* __restrict ak = a.row_ptr(k);
+    const T* __restrict bk = b.row_ptr(k);
+    for (int i = 0; i < p; ++i) {
+      const T aki = ak[i];
+      if (aki == T{}) continue;
+      T* __restrict ci = c.row_ptr(i);
+      for (int j = 0; j < m; ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+// C = A * B^T without materializing the transpose (hot in backprop).
+template <typename T>
+Matrix<T> matmul_nt(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.cols() == b.cols());
+  Matrix<T> c(a.rows(), b.rows());
+  const int n = a.rows(), k_dim = a.cols(), m = b.rows();
+  for (int i = 0; i < n; ++i) {
+    const T* __restrict ai = a.row_ptr(i);
+    T* __restrict ci = c.row_ptr(i);
+    for (int j = 0; j < m; ++j) {
+      const T* __restrict bj = b.row_ptr(j);
+      T acc{};
+      for (int k = 0; k < k_dim; ++k) acc += ai[k] * bj[k];
+      ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+template <typename T>
+Matrix<T> hadamard(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.same_shape(b));
+  Matrix<T> c = a;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int col = 0; col < a.cols(); ++col) c(r, col) *= b(r, col);
+  }
+  return c;
+}
+
+// Frobenius-norm helpers (real matrices).
+double frobenius_norm(const Mat& m);
+double max_abs(const Mat& m);
+bool all_finite(const Mat& m);
+
+}  // namespace gcnrl::la

@@ -1,0 +1,68 @@
+#include "la/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcnrl::la {
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double min_of(std::span<const double> v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double max_of(std::span<const double> v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+std::vector<double> col_mean(const Mat& m) {
+  std::vector<double> out(m.cols(), 0.0);
+  if (m.rows() == 0) return out;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) out[c] += m(r, c);
+  }
+  for (auto& v : out) v /= m.rows();
+  return out;
+}
+
+std::vector<double> col_stddev(const Mat& m) {
+  std::vector<double> out(m.cols(), 0.0);
+  if (m.rows() < 2) return out;
+  const auto mu = col_mean(m);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      const double d = m(r, c) - mu[c];
+      out[c] += d * d;
+    }
+  }
+  for (auto& v : out) v = std::sqrt(v / (m.rows() - 1));
+  return out;
+}
+
+ColStats normalize_columns(Mat& m) {
+  ColStats st{col_mean(m), col_stddev(m)};
+  for (auto& s : st.stddev) {
+    if (s < 1e-12) s = 1.0;  // constant column: center only
+  }
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      m(r, c) = (m(r, c) - st.mean[c]) / st.stddev[c];
+    }
+  }
+  return st;
+}
+
+}  // namespace gcnrl::la

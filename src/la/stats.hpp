@@ -1,0 +1,32 @@
+// Small statistics helpers shared by FoM calibration, state normalization
+// and the benchmark reporting (mean ± std across seeds).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace gcnrl::la {
+
+double mean(std::span<const double> v);
+// Population standard deviation (what the paper's +/- columns report is a
+// spread over 3 runs; sample vs population is immaterial at that n, we use
+// the sample estimator with (n-1) and return 0 for n < 2).
+double stddev(std::span<const double> v);
+double min_of(std::span<const double> v);
+double max_of(std::span<const double> v);
+
+// Column-wise mean / std of a matrix (rows = observations).
+std::vector<double> col_mean(const Mat& m);
+std::vector<double> col_stddev(const Mat& m);
+
+// Normalize columns in place to zero mean / unit std; columns with zero
+// spread are left centered only. Returns {mean, std} actually used.
+struct ColStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+};
+ColStats normalize_columns(Mat& m);
+
+}  // namespace gcnrl::la

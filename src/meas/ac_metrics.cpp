@@ -1,0 +1,115 @@
+#include "meas/ac_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnrl::meas {
+namespace {
+
+void check(const AcCurve& c) {
+  if (c.freq.size() != c.h.size() || c.freq.empty()) {
+    throw std::invalid_argument("AcCurve: inconsistent or empty");
+  }
+}
+
+// Log-frequency interpolation of the crossing |H| = target between
+// adjacent samples i-1, i.
+double interp_crossing(const AcCurve& c, std::size_t i, double target) {
+  const double m0 = std::abs(c.h[i - 1]);
+  const double m1 = std::abs(c.h[i]);
+  if (m0 == m1) return c.freq[i];
+  const double t = (target - m0) / (m1 - m0);
+  const double lf =
+      std::log(c.freq[i - 1]) +
+      t * (std::log(c.freq[i]) - std::log(c.freq[i - 1]));
+  return std::exp(lf);
+}
+
+}  // namespace
+
+double dc_gain(const AcCurve& c) {
+  check(c);
+  return std::abs(c.h.front());
+}
+
+double bandwidth_3db(const AcCurve& c) {
+  check(c);
+  const double target = dc_gain(c) / std::sqrt(2.0);
+  for (std::size_t i = 1; i < c.h.size(); ++i) {
+    if (std::abs(c.h[i]) < target && std::abs(c.h[i - 1]) >= target) {
+      return interp_crossing(c, i, target);
+    }
+  }
+  return c.freq.back();
+}
+
+double peaking_db(const AcCurve& c) {
+  check(c);
+  const double g0 = dc_gain(c);
+  double peak = g0;
+  for (const auto& h : c.h) peak = std::max(peak, std::abs(h));
+  if (g0 <= 0.0) return 0.0;
+  return 20.0 * std::log10(peak / g0);
+}
+
+double gbw(const AcCurve& c) { return dc_gain(c) * bandwidth_3db(c); }
+
+double unity_crossing(const AcCurve& c) {
+  check(c);
+  if (std::abs(c.h.front()) < 1.0) return 0.0;
+  for (std::size_t i = 1; i < c.h.size(); ++i) {
+    if (std::abs(c.h[i]) < 1.0 && std::abs(c.h[i - 1]) >= 1.0) {
+      return interp_crossing(c, i, 1.0);
+    }
+  }
+  return c.freq.back();
+}
+
+double phase_margin_deg(const AcCurve& c) {
+  check(c);
+  if (std::abs(c.h.front()) < 1.0) return 180.0;
+  // Unwrapped phase along the sweep.
+  std::vector<double> phase(c.h.size());
+  phase[0] = std::arg(c.h[0]);
+  for (std::size_t i = 1; i < c.h.size(); ++i) {
+    double p = std::arg(c.h[i]);
+    while (p - phase[i - 1] > M_PI) p -= 2.0 * M_PI;
+    while (p - phase[i - 1] < -M_PI) p += 2.0 * M_PI;
+    phase[i] = p;
+  }
+  for (std::size_t i = 1; i < c.h.size(); ++i) {
+    if (std::abs(c.h[i]) < 1.0 && std::abs(c.h[i - 1]) >= 1.0) {
+      const double m0 = std::abs(c.h[i - 1]);
+      const double m1 = std::abs(c.h[i]);
+      const double t = m0 == m1 ? 1.0 : (1.0 - m0) / (m1 - m0);
+      const double ph = phase[i - 1] + t * (phase[i] - phase[i - 1]);
+      double pm = 180.0 + ph * 180.0 / M_PI;
+      while (pm > 360.0) pm -= 360.0;
+      while (pm < -360.0) pm += 360.0;
+      // Clamp to the conventional reporting range: phase lead beyond 180
+      // is "unconditionally stable here", deeper lag than -180 is "very
+      // unstable" — finer distinction carries no design information.
+      return std::clamp(pm, -180.0, 180.0);
+    }
+  }
+  return 180.0;
+}
+
+double magnitude_at(const AcCurve& c, double f) {
+  check(c);
+  if (f <= c.freq.front()) return std::abs(c.h.front());
+  if (f >= c.freq.back()) return std::abs(c.h.back());
+  for (std::size_t i = 1; i < c.freq.size(); ++i) {
+    if (c.freq[i] >= f) {
+      const double t = (std::log(f) - std::log(c.freq[i - 1])) /
+                       (std::log(c.freq[i]) - std::log(c.freq[i - 1]));
+      const double m0 = std::abs(c.h[i - 1]);
+      const double m1 = std::abs(c.h[i]);
+      return m0 + t * (m1 - m0);
+    }
+  }
+  return std::abs(c.h.back());
+}
+
+}  // namespace gcnrl::meas

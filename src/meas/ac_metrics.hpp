@@ -1,0 +1,39 @@
+// Frequency-domain measurements extracted from AC sweeps.
+//
+// All functions operate on a sampled transfer function H(f) (magnitude of
+// arbitrary units — transimpedance ohms, voltage gain, loop gain...).
+// Crossings are located by log-linear interpolation between sweep points,
+// so a modest number of points per decade gives accurate -3 dB / unity
+// frequencies.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace gcnrl::meas {
+
+struct AcCurve {
+  std::vector<double> freq;                 // ascending [Hz]
+  std::vector<std::complex<double>> h;      // transfer function samples
+};
+
+// |H| at the lowest frequency sample (the "DC" gain of the sweep).
+double dc_gain(const AcCurve& c);
+// First frequency where |H| falls 3 dB below dc_gain (log-interpolated).
+// Returns the last frequency if no crossing is inside the sweep.
+double bandwidth_3db(const AcCurve& c);
+// Peaking above the DC gain, in dB (0 if the response is monotone).
+double peaking_db(const AcCurve& c);
+// Gain-bandwidth product: dc_gain * bandwidth_3db.
+double gbw(const AcCurve& c);
+// First unity-magnitude crossing of |H| (Hz); 0 if |H| starts below 1,
+// last frequency if it never crosses.
+double unity_crossing(const AcCurve& c);
+// Phase margin of a loop-gain curve: 180 deg + phase(H) at |H| = 1, with
+// phase unwrapped along the sweep. By convention returns 180 when the loop
+// gain never reaches unity (loop unconditionally stable at this level).
+double phase_margin_deg(const AcCurve& c);
+// Linear interpolation of |H| at frequency f.
+double magnitude_at(const AcCurve& c, double f);
+
+}  // namespace gcnrl::meas

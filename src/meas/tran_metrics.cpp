@@ -1,0 +1,61 @@
+#include "meas/tran_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnrl::meas {
+namespace {
+
+void check(const TranCurve& c) {
+  if (c.t.size() != c.v.size() || c.t.empty()) {
+    throw std::invalid_argument("TranCurve: inconsistent or empty");
+  }
+}
+
+}  // namespace
+
+double settling_time(const TranCurve& c, double t_edge, double tol_abs) {
+  check(c);
+  const double v_final = c.v.back();
+  // Walk backwards: find the last sample OUTSIDE the tolerance band.
+  std::size_t last_outside = 0;
+  bool any_outside = false;
+  for (std::size_t i = c.t.size(); i-- > 0;) {
+    if (c.t[i] < t_edge) break;
+    if (std::fabs(c.v[i] - v_final) > tol_abs) {
+      last_outside = i;
+      any_outside = true;
+      break;
+    }
+  }
+  if (!any_outside) return 0.0;
+  if (last_outside + 1 >= c.t.size()) return c.t.back() - t_edge;
+  return c.t[last_outside + 1] - t_edge;
+}
+
+double peak_deviation(const TranCurve& c, double t_edge) {
+  check(c);
+  const double v_final = c.v.back();
+  double peak = 0.0;
+  for (std::size_t i = 0; i < c.t.size(); ++i) {
+    if (c.t[i] < t_edge) continue;
+    peak = std::max(peak, std::fabs(c.v[i] - v_final));
+  }
+  return peak;
+}
+
+double value_at(const TranCurve& c, double t) {
+  check(c);
+  if (t <= c.t.front()) return c.v.front();
+  if (t >= c.t.back()) return c.v.back();
+  for (std::size_t i = 1; i < c.t.size(); ++i) {
+    if (c.t[i] >= t) {
+      const double span = c.t[i] - c.t[i - 1];
+      const double w = span > 0.0 ? (t - c.t[i - 1]) / span : 1.0;
+      return c.v[i - 1] + w * (c.v[i] - c.v[i - 1]);
+    }
+  }
+  return c.v.back();
+}
+
+}  // namespace gcnrl::meas

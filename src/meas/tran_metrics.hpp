@@ -1,0 +1,26 @@
+// Time-domain measurements for the LDO benchmarks: settling time after a
+// step disturbance, over/undershoot, and DC regulation helpers.
+#pragma once
+
+#include <vector>
+
+namespace gcnrl::meas {
+
+struct TranCurve {
+  std::vector<double> t;
+  std::vector<double> v;
+};
+
+// Settling time after the disturbance at t_edge: the earliest time T such
+// that |v(t) - v_final| <= tol_abs for ALL t >= T (v_final = last sample).
+// Returns (T - t_edge); returns the full remaining window if it never
+// settles.
+double settling_time(const TranCurve& c, double t_edge, double tol_abs);
+
+// Largest |v - v_final| excursion after t_edge.
+double peak_deviation(const TranCurve& c, double t_edge);
+
+// Value at (interpolated) time t.
+double value_at(const TranCurve& c, double t);
+
+}  // namespace gcnrl::meas

@@ -1,0 +1,38 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace gcnrl::nn {
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  state_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    state_.push_back(State{la::Mat(p->value.rows(), p->value.cols()),
+                           la::Mat(p->value.rows(), p->value.cols())});
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    State& s = state_[i];
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) {
+        const double g = p->grad(r, c);
+        s.m(r, c) = beta1_ * s.m(r, c) + (1.0 - beta1_) * g;
+        s.v(r, c) = beta2_ * s.v(r, c) + (1.0 - beta2_) * g * g;
+        const double m_hat = s.m(r, c) / bc1;
+        const double v_hat = s.v(r, c) / bc2;
+        p->value(r, c) -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+      }
+    }
+  }
+}
+
+}  // namespace gcnrl::nn

@@ -1,0 +1,24 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace gcnrl::nn {
+
+la::Mat xavier_uniform(int fan_in, int fan_out, Rng& rng) {
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  la::Mat m(fan_in, fan_out);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) m(r, c) = rng.uniform(-a, a);
+  }
+  return m;
+}
+
+la::Mat uniform_init(int rows, int cols, double scale, Rng& rng) {
+  la::Mat m(rows, cols);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) m(r, c) = rng.uniform(-scale, scale);
+  }
+  return m;
+}
+
+}  // namespace gcnrl::nn

@@ -1,0 +1,15 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace gcnrl::nn {
+
+// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+la::Mat xavier_uniform(int fan_in, int fan_out, Rng& rng);
+// Small uniform init for output layers, U(-scale, scale); the DDPG paper
+// initializes final layers near zero so initial actions are unbiased.
+la::Mat uniform_init(int rows, int cols, double scale, Rng& rng);
+
+}  // namespace gcnrl::nn

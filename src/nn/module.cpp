@@ -1,0 +1,13 @@
+#include "nn/module.hpp"
+
+namespace gcnrl::nn {
+
+ag::Var Module::leaf(ag::Tape& tape, Parameter& p) {
+  Parameter* pp = &p;
+  ag::Var v = tape.make(p.value, true, nullptr);
+  ag::Node* node = v.node();
+  node->pullback = [pp, node] { pp->grad += node->grad; };
+  return v;
+}
+
+}  // namespace gcnrl::nn

@@ -1,0 +1,48 @@
+// Parameter / Module plumbing for the neural-network stack.
+//
+// A Parameter owns its value and gradient buffers; Modules expose their
+// parameters so optimizers (nn::Adam) and the weight (de)serializer can
+// iterate them generically. Forward passes are written against an
+// ag::Tape: Module::leaf() lifts a Parameter onto the tape as a
+// differentiable node whose gradient is accumulated back into the
+// Parameter at the end of Tape::backward().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "autograd/tape.hpp"
+
+namespace gcnrl::nn {
+
+struct Parameter {
+  std::string name;
+  la::Mat value;
+  la::Mat grad;
+
+  Parameter() = default;
+  Parameter(std::string n, la::Mat v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.fill(0.0); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  // All trainable parameters of this module (and submodules).
+  virtual std::vector<Parameter*> parameters() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+ protected:
+  // Lift a parameter onto a tape. The returned Var's pull-back adds the
+  // node gradient into p.grad, so gradients survive Tape::clear().
+  static ag::Var leaf(ag::Tape& tape, Parameter& p);
+};
+
+}  // namespace gcnrl::nn

@@ -1,0 +1,116 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace gcnrl::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47435231;  // "GCR1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_u32(std::FILE* f, std::uint32_t v) {
+  if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
+    throw std::runtime_error("serialize: write failed");
+  }
+}
+
+std::uint32_t read_u32(std::FILE* f) {
+  std::uint32_t v = 0;
+  if (std::fread(&v, sizeof(v), 1, f) != 1) {
+    throw std::runtime_error("serialize: truncated file");
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("save_parameters: cannot open " + path);
+  write_u32(f.get(), kMagic);
+  write_u32(f.get(), static_cast<std::uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    write_u32(f.get(), static_cast<std::uint32_t>(p->name.size()));
+    if (std::fwrite(p->name.data(), 1, p->name.size(), f.get()) !=
+        p->name.size()) {
+      throw std::runtime_error("serialize: write failed");
+    }
+    write_u32(f.get(), static_cast<std::uint32_t>(p->value.rows()));
+    write_u32(f.get(), static_cast<std::uint32_t>(p->value.cols()));
+    const std::size_t n = p->value.size();
+    if (n > 0 &&
+        std::fwrite(p->value.data(), sizeof(double), n, f.get()) != n) {
+      throw std::runtime_error("serialize: write failed");
+    }
+  }
+}
+
+int load_parameters(const std::string& path,
+                    const std::vector<Parameter*>& params, bool strict) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("load_parameters: cannot open " + path);
+  if (read_u32(f.get()) != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const std::uint32_t count = read_u32(f.get());
+
+  std::map<std::string, la::Mat> stored;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t name_len = read_u32(f.get());
+    std::string name(name_len, '\0');
+    if (name_len > 0 &&
+        std::fread(name.data(), 1, name_len, f.get()) != name_len) {
+      throw std::runtime_error("serialize: truncated file");
+    }
+    const int rows = static_cast<int>(read_u32(f.get()));
+    const int cols = static_cast<int>(read_u32(f.get()));
+    la::Mat m(rows, cols);
+    const std::size_t n = m.size();
+    if (n > 0 && std::fread(m.data(), sizeof(double), n, f.get()) != n) {
+      throw std::runtime_error("serialize: truncated file");
+    }
+    stored.emplace(std::move(name), std::move(m));
+  }
+
+  int copied = 0;
+  for (Parameter* p : params) {
+    auto it = stored.find(p->name);
+    if (it == stored.end() || !it->second.same_shape(p->value)) {
+      if (strict) {
+        throw std::runtime_error("load_parameters: no match for " + p->name);
+      }
+      continue;
+    }
+    p->value = it->second;
+    ++copied;
+  }
+  return copied;
+}
+
+int copy_parameters(const std::vector<Parameter*>& src,
+                    const std::vector<Parameter*>& dst) {
+  std::map<std::string, const Parameter*> by_name;
+  for (const Parameter* p : src) by_name.emplace(p->name, p);
+  int copied = 0;
+  for (Parameter* d : dst) {
+    auto it = by_name.find(d->name);
+    if (it != by_name.end() && it->second->value.same_shape(d->value)) {
+      d->value = it->second->value;
+      ++copied;
+    }
+  }
+  return copied;
+}
+
+}  // namespace gcnrl::nn

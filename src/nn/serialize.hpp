@@ -1,0 +1,32 @@
+// Named-parameter (de)serialization.
+//
+// This is the knowledge-transfer mechanism of the paper: an agent trained
+// on one technology node (or, in scalar-index state mode, one topology) is
+// saved and its actor/critic weights are loaded into a fresh agent for the
+// target node/topology. Format is a simple self-describing binary blob
+// (magic, count, then name/shape/data records).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace gcnrl::nn {
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params);
+
+// Loads by name. Every stored parameter whose name matches a destination
+// parameter AND has the same shape is copied; returns the number copied.
+// `strict` additionally requires that every destination parameter is
+// matched (throws otherwise).
+int load_parameters(const std::string& path,
+                    const std::vector<Parameter*>& params,
+                    bool strict = true);
+
+// In-memory copy by name (used for transfer without touching disk).
+int copy_parameters(const std::vector<Parameter*>& src,
+                    const std::vector<Parameter*>& dst);
+
+}  // namespace gcnrl::nn

@@ -1,0 +1,118 @@
+#include "opt/bayes_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gcnrl::opt {
+
+double norm_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+
+double norm_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+BayesOpt::BayesOpt(int dim, Rng rng, BayesOptOptions opt)
+    : dim_(dim), rng_(rng), opt_(opt) {}
+
+double BayesOpt::expected_improvement(const std::vector<double>& x) const {
+  const GpPrediction p = gp_.predict(x);
+  const double sd = std::sqrt(p.variance);
+  if (sd < 1e-12) return 0.0;
+  const double z = (p.mean - best_y_ - opt_.xi) / sd;
+  return (p.mean - best_y_ - opt_.xi) * norm_cdf(z) + sd * norm_pdf(z);
+}
+
+std::vector<std::vector<double>> BayesOpt::ask() {
+  if (static_cast<int>(xs_.size()) < opt_.initial_random) {
+    std::vector<double> x(dim_);
+    for (auto& v : x) v = rng_.uniform(-1.0, 1.0);
+    return {x};
+  }
+
+  // Random multi-start acquisition maximization.
+  std::vector<std::vector<double>> cands(opt_.acq_samples,
+                                         std::vector<double>(dim_));
+  for (auto& x : cands) {
+    if (rng_.uniform() < 0.5) {
+      // Global: uniform.
+      for (auto& v : x) v = rng_.uniform(-1.0, 1.0);
+    } else {
+      // Local: Gaussian ball around the incumbent best.
+      const auto& best = xs_[std::distance(
+          ys_.begin(), std::max_element(ys_.begin(), ys_.end()))];
+      for (int i = 0; i < dim_; ++i) {
+        x[i] = std::clamp(best[i] + 0.2 * rng_.normal(), -1.0, 1.0);
+      }
+    }
+  }
+  std::vector<double> acq(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    acq[i] = expected_improvement(cands[i]);
+  }
+  std::vector<int> order(cands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return acq[a] > acq[b]; });
+
+  // Local coordinate refinement on the top candidates.
+  std::vector<double> best_x = cands[order[0]];
+  double best_acq = acq[order[0]];
+  for (int k = 0; k < std::min<int>(opt_.refine_top,
+                                    static_cast<int>(order.size()));
+       ++k) {
+    std::vector<double> x = cands[order[k]];
+    double fx = acq[order[k]];
+    double step = 0.1;
+    for (int it = 0; it < opt_.refine_iters; ++it) {
+      std::vector<double> y = x;
+      const int d = static_cast<int>(rng_.uniform_index(dim_));
+      y[d] = std::clamp(y[d] + step * rng_.normal(), -1.0, 1.0);
+      const double fy = expected_improvement(y);
+      if (fy > fx) {
+        x = std::move(y);
+        fx = fy;
+      } else {
+        step *= 0.85;
+      }
+    }
+    if (fx > best_acq) {
+      best_acq = fx;
+      best_x = std::move(x);
+    }
+  }
+  return {best_x};
+}
+
+void BayesOpt::tell(const std::vector<std::vector<double>>& xs,
+                    const std::vector<double>& ys) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs_.push_back(xs[i]);
+    ys_.push_back(ys[i]);
+    best_y_ = std::max(best_y_, ys[i]);
+  }
+  if (static_cast<int>(xs_.size()) < opt_.initial_random) return;
+
+  // Cap the GP training set: keep the best max_gp_points (plus recency —
+  // the newest point always enters).
+  std::vector<std::vector<double>> x_fit = xs_;
+  std::vector<double> y_fit = ys_;
+  if (static_cast<int>(x_fit.size()) > opt_.max_gp_points) {
+    std::vector<int> order(x_fit.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return y_fit[a] > y_fit[b]; });
+    order.resize(opt_.max_gp_points);
+    std::vector<std::vector<double>> xk;
+    std::vector<double> yk;
+    for (int idx : order) {
+      xk.push_back(x_fit[idx]);
+      yk.push_back(y_fit[idx]);
+    }
+    x_fit = std::move(xk);
+    y_fit = std::move(yk);
+  }
+  gp_.fit(x_fit, y_fit);
+}
+
+}  // namespace gcnrl::opt

@@ -1,0 +1,136 @@
+#include "opt/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gcnrl::opt {
+namespace {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double matern52(double r, double ls) {
+  const double s = std::sqrt(5.0) * r / ls;
+  return (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+}  // namespace
+
+double GaussianProcess::kernel(const std::vector<double>& a,
+                               const std::vector<double>& b) const {
+  return signal_var_ * matern52(std::sqrt(sq_dist(a, b)), lengthscale_);
+}
+
+void GaussianProcess::build(double ls, double noise) {
+  lengthscale_ = ls;
+  noise_ = noise;
+  const int n = static_cast<int>(x_.size());
+  la::Mat k(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      const double v = kernel(x_[i], x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise_ + 1e-8;
+  }
+  chol_ = std::make_unique<la::Cholesky>(k);
+  alpha_ = chol_->solve(y_);
+}
+
+double GaussianProcess::log_marginal(double ls, double noise) const {
+  const int n = static_cast<int>(x_.size());
+  la::Mat k(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      const double r = std::sqrt(sq_dist(x_[i], x_[j]));
+      const double v = signal_var_ * matern52(r, ls);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += noise + 1e-8;
+  }
+  try {
+    la::Cholesky chol(k);
+    const auto a = chol.solve(y_);
+    double fit = 0.0;
+    for (int i = 0; i < n; ++i) fit += y_[i] * a[i];
+    return -0.5 * fit - 0.5 * chol.log_det() -
+           0.5 * n * std::log(2.0 * M_PI);
+  } catch (const la::NotPositiveDefiniteError&) {
+    return -std::numeric_limits<double>::infinity();
+  }
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument("GaussianProcess::fit: bad data");
+  }
+  x_ = x;
+  // Standardize targets.
+  const int n = static_cast<int>(y.size());
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= n;
+  double var = 0.0;
+  for (double v : y) var += (v - y_mean_) * (v - y_mean_);
+  y_std_ = n > 1 ? std::sqrt(var / (n - 1)) : 1.0;
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+  y_.resize(n);
+  for (int i = 0; i < n; ++i) y_[i] = (y[i] - y_mean_) / y_std_;
+  signal_var_ = 1.0;
+
+  // Median-heuristic lengthscale, refined over a small ML grid.
+  std::vector<double> dists;
+  const int cap = std::min(n, 64);
+  for (int i = 0; i < cap; ++i) {
+    for (int j = i + 1; j < cap; ++j) {
+      dists.push_back(std::sqrt(sq_dist(x_[i], x_[j])));
+    }
+  }
+  double ls0 = 1.0;
+  if (!dists.empty()) {
+    std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                     dists.end());
+    ls0 = std::max(dists[dists.size() / 2], 1e-3);
+  }
+  double best_ll = -std::numeric_limits<double>::infinity();
+  double best_ls = ls0, best_noise = 1e-4;
+  for (double ls_mul : {0.33, 0.66, 1.0, 2.0, 4.0}) {
+    for (double noise : {1e-6, 1e-4, 1e-2}) {
+      const double ll = log_marginal(ls0 * ls_mul, noise);
+      if (ll > best_ll) {
+        best_ll = ll;
+        best_ls = ls0 * ls_mul;
+        best_noise = noise;
+      }
+    }
+  }
+  build(best_ls, best_noise);
+  fitted_ = true;
+}
+
+GpPrediction GaussianProcess::predict(const std::vector<double>& x) const {
+  if (!fitted_) throw std::runtime_error("GaussianProcess: not fitted");
+  const int n = static_cast<int>(x_.size());
+  std::vector<double> kx(n);
+  for (int i = 0; i < n; ++i) kx[i] = kernel(x_[i], x);
+  double mu = 0.0;
+  for (int i = 0; i < n; ++i) mu += kx[i] * alpha_[i];
+  // var = k(x,x) - kx^T K^-1 kx via the Cholesky solve.
+  const auto v = chol_->solve_lower(kx);
+  double reduction = 0.0;
+  for (double vi : v) reduction += vi * vi;
+  const double var = std::max(kernel(x, x) - reduction, 1e-12);
+  return {y_mean_ + y_std_ * mu, y_std_ * y_std_ * var};
+}
+
+}  // namespace gcnrl::opt

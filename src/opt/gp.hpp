@@ -1,0 +1,55 @@
+// Gaussian-process regression surrogate for the BO/MACE baselines.
+//
+// Matern-5/2 kernel with a single isotropic lengthscale, signal variance
+// and noise variance; hyperparameters fitted by maximizing the log
+// marginal likelihood over a small grid around median-distance heuristics
+// (robust and deterministic — no fragile inner gradient loop). Targets are
+// standardized internally.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "la/cholesky.hpp"
+#include "la/matrix.hpp"
+
+namespace gcnrl::opt {
+
+struct GpPrediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class GaussianProcess {
+ public:
+  GaussianProcess() = default;
+
+  // Fit to data (rows of x are points). Refits hyperparameters.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y);
+
+  [[nodiscard]] GpPrediction predict(const std::vector<double>& x) const;
+  [[nodiscard]] bool fitted() const { return fitted_; }
+  [[nodiscard]] double lengthscale() const { return lengthscale_; }
+  [[nodiscard]] double noise() const { return noise_; }
+  [[nodiscard]] int num_points() const { return static_cast<int>(x_.size()); }
+
+ private:
+  [[nodiscard]] double kernel(const std::vector<double>& a,
+                              const std::vector<double>& b) const;
+  double log_marginal(double ls, double noise) const;
+  void build(double ls, double noise);
+
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;           // standardized targets
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  double lengthscale_ = 1.0;
+  double signal_var_ = 1.0;
+  double noise_ = 1e-4;
+  std::vector<double> alpha_;       // K^-1 y
+  std::unique_ptr<la::Cholesky> chol_;
+  bool fitted_ = false;
+};
+
+}  // namespace gcnrl::opt

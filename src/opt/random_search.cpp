@@ -1,0 +1,13 @@
+#include "opt/random_search.hpp"
+
+namespace gcnrl::opt {
+
+std::vector<std::vector<double>> RandomSearch::ask() {
+  std::vector<std::vector<double>> out(batch_, std::vector<double>(dim_));
+  for (auto& x : out) {
+    for (auto& v : x) v = rng_.uniform(-1.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace gcnrl::opt

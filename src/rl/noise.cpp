@@ -1,0 +1,25 @@
+#include "rl/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcnrl::rl {
+
+double TruncatedNormalNoise::sigma(int explore_episode) const {
+  return std::max(sigma_min_,
+                  sigma0_ * std::pow(decay_, std::max(explore_episode, 0)));
+}
+
+la::Mat TruncatedNormalNoise::apply(const la::Mat& actions,
+                                    int explore_episode, Rng& rng) const {
+  const double s = sigma(explore_episode);
+  la::Mat out = actions;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      out(r, c) = rng.truncated_normal(out(r, c), s, -1.0, 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace gcnrl::rl

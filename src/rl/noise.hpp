@@ -1,0 +1,32 @@
+// Exploration noise: truncated normal with exponential decay (the paper's
+// "truncated norm noise with exponential decay" N in Algorithm 1).
+//
+// Each action entry is resampled from a normal centered on the policy
+// output, truncated to the legal [-1, 1] action interval; sigma decays by
+// a fixed factor per exploration episode down to a floor.
+#pragma once
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace gcnrl::rl {
+
+class TruncatedNormalNoise {
+ public:
+  TruncatedNormalNoise(double sigma0, double decay, double sigma_min)
+      : sigma0_(sigma0), decay_(decay), sigma_min_(sigma_min) {}
+
+  // Sigma after `explore_episode` decay applications.
+  [[nodiscard]] double sigma(int explore_episode) const;
+
+  // Perturb a full action matrix in place-free fashion.
+  [[nodiscard]] la::Mat apply(const la::Mat& actions, int explore_episode,
+                              Rng& rng) const;
+
+ private:
+  double sigma0_;
+  double decay_;
+  double sigma_min_;
+};
+
+}  // namespace gcnrl::rl

@@ -1,0 +1,24 @@
+#include "rl/replay_buffer.hpp"
+
+namespace gcnrl::rl {
+
+void ReplayBuffer::push(la::Mat actions, double reward) {
+  if (data_.size() < capacity_) {
+    data_.push_back({std::move(actions), reward});
+  } else {
+    data_[next_] = {std::move(actions), reward};
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    Rng& rng) const {
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch && !data_.empty(); ++i) {
+    out.push_back(&data_[rng.uniform_index(data_.size())]);
+  }
+  return out;
+}
+
+}  // namespace gcnrl::rl

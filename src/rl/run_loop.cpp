@@ -1,0 +1,65 @@
+#include "rl/run_loop.hpp"
+
+namespace gcnrl::rl {
+
+void RunResult::record(double fom) {
+  best_fom = std::max(best_fom, fom);
+  best_trace.push_back(best_fom);
+}
+
+RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps) {
+  RunResult out;
+  for (int step = 0; step < steps; ++step) {
+    const la::Mat actions = agent.act_explore();
+    const env::EvalResult r = env.step(actions);
+    agent.observe(actions, r.fom);
+    if (r.fom > out.best_fom) {
+      out.best_actions = actions;
+      out.best_metrics = r.metrics;
+    }
+    out.record(r.fom);
+  }
+  return out;
+}
+
+RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
+                        int steps) {
+  RunResult out;
+  int done = 0;
+  while (done < steps) {
+    const auto xs = optimizer.ask();
+    std::vector<double> ys;
+    ys.reserve(xs.size());
+    for (const auto& x : xs) {
+      const env::EvalResult r = env.step_flat(x);
+      ys.push_back(r.fom);
+      if (r.fom > out.best_fom) {
+        out.best_actions = env.bench().space.unflatten(x);
+        out.best_metrics = r.metrics;
+      }
+      out.record(r.fom);
+      if (++done >= steps) break;
+    }
+    // Feed back only the evaluated prefix.
+    std::vector<std::vector<double>> xs_done(xs.begin(),
+                                             xs.begin() + ys.size());
+    optimizer.tell(xs_done, ys);
+  }
+  return out;
+}
+
+RunResult run_random(env::SizingEnv& env, int steps, Rng rng) {
+  RunResult out;
+  for (int step = 0; step < steps; ++step) {
+    const la::Mat actions = env.random_actions(rng);
+    const env::EvalResult r = env.step(actions);
+    if (r.fom > out.best_fom) {
+      out.best_actions = actions;
+      out.best_metrics = r.metrics;
+    }
+    out.record(r.fom);
+  }
+  return out;
+}
+
+}  // namespace gcnrl::rl

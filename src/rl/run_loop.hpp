@@ -1,0 +1,36 @@
+// Shared optimization-loop drivers used by the examples and the benchmark
+// harnesses: run a DDPG agent or a black-box optimizer against a
+// SizingEnv for a step budget and record the best-so-far FoM trace (the
+// quantity plotted in the paper's Figs. 5/7/8).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/sizing_env.hpp"
+#include "opt/optimizer.hpp"
+#include "rl/ddpg.hpp"
+
+namespace gcnrl::rl {
+
+struct RunResult {
+  std::vector<double> best_trace;  // best FoM after each evaluation
+  double best_fom = -1e300;
+  la::Mat best_actions;            // n x kMaxActionDim
+  env::MetricMap best_metrics;
+
+  void record(double fom);
+};
+
+// Run `agent` for `steps` episodes of Algorithm 1 against `env`.
+RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps);
+
+// Run a black-box optimizer (ask/tell on the flattened space).
+RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
+                        int steps);
+
+// Evaluate `steps` uniform random designs (the paper's Random baseline).
+RunResult run_random(env::SizingEnv& env, int steps, Rng rng);
+
+}  // namespace gcnrl::rl

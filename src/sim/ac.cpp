@@ -1,0 +1,86 @@
+#include "sim/ac.hpp"
+
+namespace gcnrl::sim {
+
+la::CMat build_ac_matrix(const SimContext& ctx, const OpPoint& op,
+                         double omega) {
+  using cd = std::complex<double>;
+  const MnaMap& m = ctx.map;
+  const circuit::Netlist& nl = ctx.nl;
+  la::CMat y(m.dim(), m.dim());
+
+  for (const auto& res : nl.resistors()) {
+    stamp_conductance(y, m, res.a, res.b, cd(1.0 / std::max(res.r, 1e-3)));
+  }
+  for (const auto& cap : nl.capacitors()) {
+    stamp_conductance(y, m, cap.a, cap.b, cd(0.0, omega * cap.c));
+  }
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& mos = nl.mosfets()[k];
+    const MosOp& mop = op.mos[k];
+    const MosCaps& c = op.caps[k];
+    stamp_vccs(y, m, mos.d, mos.s, mos.g, mos.s, cd(mop.gm));
+    stamp_conductance(y, m, mos.d, mos.s, cd(mop.gds));
+    stamp_conductance(y, m, mos.g, mos.s, cd(0.0, omega * c.cgs));
+    stamp_conductance(y, m, mos.g, mos.d, cd(0.0, omega * c.cgd));
+    stamp_conductance(y, m, mos.d, mos.b, cd(0.0, omega * c.cdb));
+    stamp_conductance(y, m, mos.s, mos.b, cd(0.0, omega * c.csb));
+  }
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& src = nl.vsources()[k];
+    const int b = m.branch(static_cast<int>(k));
+    if (m.v(src.p) >= 0) {
+      y(m.v(src.p), b) += 1.0;
+      y(b, m.v(src.p)) += 1.0;
+    }
+    if (m.v(src.n) >= 0) {
+      y(m.v(src.n), b) -= 1.0;
+      y(b, m.v(src.n)) -= 1.0;
+    }
+  }
+  // Regularization shunt mirroring the DC gmin keeps floating AC nodes
+  // (e.g. gates only driven through capacitors) solvable.
+  for (int node = 1; node < m.num_nodes(); ++node) {
+    y(m.v(node), m.v(node)) += cd(1e-12);
+  }
+  return y;
+}
+
+AcResult solve_ac(const SimContext& ctx, const OpPoint& op,
+                  const std::vector<double>& freqs) {
+  using cd = std::complex<double>;
+  const MnaMap& m = ctx.map;
+  const circuit::Netlist& nl = ctx.nl;
+
+  std::vector<cd> rhs(m.dim(), cd(0.0));
+  for (const auto& src : nl.isources()) {
+    if (src.ac == 0.0) continue;
+    // Current p -> n through the source injects into n.
+    if (m.v(src.p) >= 0) rhs[m.v(src.p)] -= src.ac;
+    if (m.v(src.n) >= 0) rhs[m.v(src.n)] += src.ac;
+  }
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& src = nl.vsources()[k];
+    if (src.ac != 0.0) rhs[m.branch(static_cast<int>(k))] += src.ac;
+  }
+
+  AcResult out;
+  out.freq = freqs;
+  out.v = la::CMat(static_cast<int>(freqs.size()), m.num_nodes());
+  for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+    const double omega = 2.0 * M_PI * freqs[fi];
+    la::CMat y = build_ac_matrix(ctx, op, omega);
+    std::vector<cd> x;
+    try {
+      x = la::Lu<cd>(std::move(y)).solve(rhs);
+    } catch (const la::SingularMatrixError&) {
+      throw SimError("AC matrix singular at f=" + std::to_string(freqs[fi]));
+    }
+    for (int node = 1; node < m.num_nodes(); ++node) {
+      out.v(static_cast<int>(fi), node) = x[m.v(node)];
+    }
+  }
+  return out;
+}
+
+}  // namespace gcnrl::sim

@@ -1,0 +1,225 @@
+#include "sim/dc.hpp"
+
+#include <cmath>
+
+namespace gcnrl::sim {
+namespace {
+
+struct Residual {
+  la::Mat j;               // Jacobian
+  std::vector<double> f;   // residual
+};
+
+double source_value(double dc, const circuit::Pwl& pwl, double time) {
+  if (time >= 0.0 && !pwl.empty()) return pwl.at(time);
+  return dc;
+}
+
+// Build residual + Jacobian at unknown vector x. `alpha` scales all
+// independent sources (source stepping); `gmin` shunts every node.
+Residual build(const SimContext& ctx, const std::vector<double>& x,
+               double alpha, double gmin, double source_time) {
+  const MnaMap& m = ctx.map;
+  const circuit::Netlist& nl = ctx.nl;
+  Residual r{la::Mat(m.dim(), m.dim()), std::vector<double>(m.dim(), 0.0)};
+
+  auto volt = [&](int node) { return node == 0 ? 0.0 : x[m.v(node)]; };
+
+  for (const auto& res : nl.resistors()) {
+    const double g = 1.0 / std::max(res.r, 1e-3);
+    stamp_conductance(r.j, m, res.a, res.b, g);
+    const double i = g * (volt(res.a) - volt(res.b));
+    if (m.v(res.a) >= 0) r.f[m.v(res.a)] += i;
+    if (m.v(res.b) >= 0) r.f[m.v(res.b)] -= i;
+  }
+
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& mos = nl.mosfets()[k];
+    const MosOp op = eval_mos(ctx.models[k], mos, volt(mos.g), volt(mos.d),
+                              volt(mos.s));
+    const int id_row = m.v(mos.d);
+    const int is_row = m.v(mos.s);
+    if (id_row >= 0) r.f[id_row] += op.id;
+    if (is_row >= 0) r.f[is_row] -= op.id;
+    // d(id)/dvg = gm, d(id)/dvd = gds, d(id)/dvs = -(gm + gds).
+    const int cg = m.v(mos.g);
+    const int cd = m.v(mos.d);
+    const int cs = m.v(mos.s);
+    auto add = [&](int row, double sign) {
+      if (row < 0) return;
+      if (cg >= 0) r.j(row, cg) += sign * op.gm;
+      if (cd >= 0) r.j(row, cd) += sign * op.gds;
+      if (cs >= 0) r.j(row, cs) -= sign * (op.gm + op.gds);
+    };
+    add(id_row, 1.0);
+    add(is_row, -1.0);
+  }
+
+  for (const auto& src : nl.isources()) {
+    const double i = alpha * source_value(src.dc, src.pwl, source_time);
+    // Current flows p -> n through the source: leaves p, enters n.
+    if (m.v(src.p) >= 0) r.f[m.v(src.p)] += i;
+    if (m.v(src.n) >= 0) r.f[m.v(src.n)] -= i;
+  }
+
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& src = nl.vsources()[k];
+    const int b = m.branch(static_cast<int>(k));
+    const double i = x[b];
+    if (m.v(src.p) >= 0) {
+      r.f[m.v(src.p)] += i;
+      r.j(m.v(src.p), b) += 1.0;
+      r.j(b, m.v(src.p)) += 1.0;
+    }
+    if (m.v(src.n) >= 0) {
+      r.f[m.v(src.n)] -= i;
+      r.j(m.v(src.n), b) -= 1.0;
+      r.j(b, m.v(src.n)) -= 1.0;
+    }
+    r.f[b] = volt(src.p) - volt(src.n) -
+             alpha * source_value(src.dc, src.pwl, source_time);
+  }
+
+  // gmin shunts on every non-ground node.
+  for (int node = 1; node < m.num_nodes(); ++node) {
+    const int row = m.v(node);
+    r.j(row, row) += gmin;
+    r.f[row] += gmin * x[row];
+  }
+  return r;
+}
+
+struct NewtonResult {
+  bool converged = false;
+  std::vector<double> x;
+};
+
+NewtonResult newton(const SimContext& ctx, std::vector<double> x, double alpha,
+                    double gmin, const DcOptions& opt) {
+  const int nv = ctx.map.num_nodes() - 1;
+  for (int iter = 0; iter < opt.max_iter; ++iter) {
+    Residual r = build(ctx, x, alpha, gmin, opt.source_time);
+    std::vector<double> rhs(r.f.size());
+    for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = -r.f[i];
+    std::vector<double> dx;
+    try {
+      dx = la::Lu<double>(std::move(r.j)).solve(rhs);
+    } catch (const la::SingularMatrixError&) {
+      return {false, std::move(x)};
+    }
+    // Damping: limit the largest voltage step.
+    double max_dv = 0.0;
+    for (int i = 0; i < nv; ++i) max_dv = std::max(max_dv, std::fabs(dx[i]));
+    const double scale = max_dv > opt.step_limit ? opt.step_limit / max_dv
+                                                 : 1.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += scale * dx[i];
+      if (!std::isfinite(x[i])) return {false, std::move(x)};
+    }
+    double max_res = 0.0;
+    for (int i = 0; i < nv; ++i) max_res = std::max(max_res, std::fabs(r.f[i]));
+    // Converged when undamped and both criteria hold — or when the
+    // residual alone is at numerical noise level (dx can limit-cycle on
+    // Jacobian granularity while KCL is already exactly satisfied).
+    if (scale == 1.0 &&
+        ((max_dv < opt.tol_step && max_res < opt.tol_residual) ||
+         max_res < 1e-3 * opt.tol_residual)) {
+      return {true, std::move(x)};
+    }
+  }
+  return {false, std::move(x)};
+}
+
+OpPoint finalize(const SimContext& ctx, const std::vector<double>& x) {
+  const MnaMap& m = ctx.map;
+  OpPoint op;
+  op.v.resize(m.num_nodes(), 0.0);
+  for (int node = 1; node < m.num_nodes(); ++node) op.v[node] = x[m.v(node)];
+  op.branch_i.resize(ctx.nl.vsources().size());
+  for (std::size_t k = 0; k < op.branch_i.size(); ++k) {
+    op.branch_i[k] = x[m.branch(static_cast<int>(k))];
+  }
+  op.mos.reserve(ctx.nl.mosfets().size());
+  op.caps.reserve(ctx.nl.mosfets().size());
+  for (std::size_t k = 0; k < ctx.nl.mosfets().size(); ++k) {
+    const auto& mos = ctx.nl.mosfets()[k];
+    op.mos.push_back(eval_mos(ctx.models[k], mos, op.v[mos.g], op.v[mos.d],
+                              op.v[mos.s]));
+    op.caps.push_back(mos_caps(ctx.models[k], mos));
+  }
+  return op;
+}
+
+}  // namespace
+
+OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt) {
+  std::vector<double> x(ctx.map.dim(), 0.0);
+
+  // Strategy 1: gmin stepping from a strong shunt down to the target.
+  // A partial failure mid-ladder keeps the best solution found so far as
+  // the starting point for the next (coarser) attempt instead of aborting:
+  // circuits with bistable subloops often converge on retry.
+  {
+    std::vector<double> xg = x;
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= opt.gmin * 0.99; gmin *= 1e-1) {
+      NewtonResult nr = newton(ctx, xg, 1.0, gmin, opt);
+      if (!nr.converged) {
+        ok = false;
+        break;
+      }
+      xg = std::move(nr.x);
+    }
+    if (ok) {
+      NewtonResult nr = newton(ctx, xg, 1.0, opt.gmin, opt);
+      if (nr.converged) return finalize(ctx, nr.x);
+    }
+  }
+
+  // Strategy 2: source stepping at a relaxed gmin, then final tightening.
+  {
+    std::vector<double> xs(ctx.map.dim(), 0.0);
+    bool ok = true;
+    for (int step = 1; step <= 20; ++step) {
+      const double alpha = step / 20.0;
+      NewtonResult nr = newton(ctx, xs, alpha, std::max(opt.gmin, 1e-9), opt);
+      if (!nr.converged) {
+        ok = false;
+        break;
+      }
+      xs = std::move(nr.x);
+    }
+    if (ok) {
+      for (double gmin = 1e-9; gmin >= opt.gmin * 0.99; gmin *= 1e-1) {
+        NewtonResult nr = newton(ctx, xs, 1.0, gmin, opt);
+        if (!nr.converged) {
+          ok = false;
+          break;
+        }
+        xs = std::move(nr.x);
+      }
+      if (ok) return finalize(ctx, xs);
+    }
+  }
+
+  // Strategy 3: heavily damped Newton from a mid-rail start — a last
+  // resort that trades iterations for basin robustness.
+  {
+    std::vector<double> xm(ctx.map.dim(), 0.0);
+    for (int node = 1; node < ctx.map.num_nodes(); ++node) {
+      xm[ctx.map.v(node)] = 0.5;
+    }
+    DcOptions heavy = opt;
+    heavy.step_limit = 0.1;
+    heavy.max_iter = 400;
+    NewtonResult nr = newton(ctx, xm, 1.0, std::max(opt.gmin, 1e-10), heavy);
+    if (nr.converged) {
+      nr = newton(ctx, nr.x, 1.0, opt.gmin, opt);
+      if (nr.converged) return finalize(ctx, nr.x);
+    }
+  }
+
+  throw SimError("DC operating point did not converge");
+}
+
+}  // namespace gcnrl::sim

@@ -1,0 +1,36 @@
+// Nonlinear DC operating-point solver.
+//
+// Newton-Raphson on the MNA residual with three robustness layers that the
+// random-sizing workload genuinely needs (the optimizers routinely ask for
+// pathological geometries):
+//   * gmin stepping — solve with a large shunt conductance on every node
+//     and relax it geometrically to the target;
+//   * per-iteration voltage-step damping;
+//   * source stepping fallback — ramp all independent sources from 0.
+// Throws SimError if every strategy fails; the environment maps that to a
+// large negative FoM (a failed design), mirroring how a real flow treats
+// non-convergent corners.
+#pragma once
+
+#include "sim/mna.hpp"
+
+namespace gcnrl::sim {
+
+struct DcOptions {
+  int max_iter = 120;
+  double gmin = 1e-12;     // final shunt conductance to ground
+  double tol_residual = 1e-9;   // max KCL residual [A]
+  // Voltage-step tolerance. Kept well above the finite-difference
+  // granularity of the device-model Jacobian: an exactly-satisfied KCL
+  // residual can coexist with a uV-scale dx limit cycle, and 20 uV is
+  // orders of magnitude below anything the measurements resolve.
+  double tol_step = 2e-5;  // max voltage update [V]
+  double step_limit = 0.5; // Newton damping: max |dv| per iteration [V]
+  // Evaluate transient sources at this time instead of their DC value
+  // (used to get the t=0 initial condition of a transient run).
+  double source_time = -1.0;  // < 0: use dc fields
+};
+
+OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt = {});
+
+}  // namespace gcnrl::sim

@@ -1,0 +1,116 @@
+#include "sim/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcnrl::sim {
+namespace {
+
+constexpr double kBoltzmannT = 1.380649e-23 * 300.0;  // kT at 300 K
+constexpr double kVtSub = 0.045;  // subthreshold smoothing voltage [V]
+
+// Numerically-stable softplus: kVtSub * ln(1 + exp(x / kVtSub)).
+double softplus(double x) {
+  const double z = x / kVtSub;
+  if (z > 30.0) return x;
+  if (z < -30.0) return kVtSub * std::exp(z);
+  return kVtSub * std::log1p(std::exp(z));
+}
+
+// Core NMOS-convention current for vds >= 0.
+double id_core(const MosModel& m, double w_eff, double l, double vgs,
+               double vds) {
+  const double vov = softplus(vgs - m.vth0);
+  if (vov <= 0.0) return 0.0;
+  const double mu_eff = m.mu0 / (1.0 + m.uc * vov);
+  const double beta = mu_eff * m.cox * (w_eff / l);
+  const double ec_l = 2.0 * m.vsat * l / mu_eff;  // velocity-sat voltage
+  const double vdsat = vov * ec_l / (vov + ec_l);
+  // Smooth triode->saturation clamp of the drain voltage.
+  const double x = vds / vdsat;
+  const double vde = vds / std::cbrt(1.0 + x * x * x);
+  const double lambda = m.lambda_um / (l * 1e6);
+  return beta * (vov - 0.5 * vde) * vde * (1.0 + lambda * vds) /
+         (1.0 + vde / ec_l);
+}
+
+// Symmetric wrapper: handles vds < 0 by swapping drain/source.
+double id_sym(const MosModel& m, double w_eff, double l, double vg, double vd,
+              double vs) {
+  if (vd >= vs) return id_core(m, w_eff, l, vg - vs, vd - vs);
+  return -id_core(m, w_eff, l, vg - vd, vs - vd);
+}
+
+}  // namespace
+
+MosModel mos_model(const circuit::Technology& tech, bool pmos) {
+  MosModel m;
+  m.pmos = pmos;
+  m.vth0 = pmos ? tech.vth0_p : tech.vth0_n;
+  m.mu0 = pmos ? tech.mu0_p : tech.mu0_n;
+  m.vsat = tech.vsat;
+  m.uc = tech.uc;
+  m.cox = tech.cox;
+  m.lambda_um = tech.lambda_um;
+  m.cov = tech.cov;
+  m.cj = tech.cj;
+  m.kf = tech.kf;
+  return m;
+}
+
+MosOp eval_mos(const MosModel& m, const circuit::Mosfet& geom, double vg,
+               double vd, double vs) {
+  const double w_eff = geom.w * geom.m;
+  const double l = geom.l;
+  // PMOS: mirror all voltages; the resulting current is mirrored back.
+  const double sign = m.pmos ? -1.0 : 1.0;
+  const double vg_i = sign * vg;
+  const double vd_i = sign * vd;
+  const double vs_i = sign * vs;
+
+  const double id = id_sym(m, w_eff, l, vg_i, vd_i, vs_i);
+  const double h = 1e-6;
+  const double id_gp = id_sym(m, w_eff, l, vg_i + h, vd_i, vs_i);
+  const double id_gm = id_sym(m, w_eff, l, vg_i - h, vd_i, vs_i);
+  const double id_dp = id_sym(m, w_eff, l, vg_i, vd_i + h, vs_i);
+  const double id_dm = id_sym(m, w_eff, l, vg_i, vd_i - h, vs_i);
+
+  MosOp op;
+  // Mirroring cancels: d(sign*id_i)/d(sign*v) = d id_i / d v.
+  op.id = sign * id;
+  op.gm = (id_gp - id_gm) / (2.0 * h);
+  op.gds = (id_dp - id_dm) / (2.0 * h);
+  op.vov = softplus((vg_i - vs_i) - m.vth0);
+  // Note: gm is negative w.r.t. the labeled gate terminal when the device
+  // operates drain/source-reversed (vds < 0 internally). Do NOT clamp —
+  // Newton needs the Jacobian consistent with the residual precisely in
+  // those transitional states.
+  return op;
+}
+
+MosCaps mos_caps(const MosModel& m, const circuit::Mosfet& geom) {
+  const double w_eff = geom.w * geom.m;
+  MosCaps c;
+  c.cgs = (2.0 / 3.0) * m.cox * w_eff * geom.l + m.cov * w_eff;
+  c.cgd = m.cov * w_eff;
+  c.cdb = m.cj * w_eff;
+  c.csb = m.cj * w_eff;
+  return c;
+}
+
+double mos_thermal_psd(double gm) {
+  return 4.0 * kBoltzmannT * (2.0 / 3.0) * std::max(gm, 0.0);
+}
+
+double mos_flicker_psd(const MosModel& m, const circuit::Mosfet& geom,
+                       double gm, double freq) {
+  if (m.kf <= 0.0 || freq <= 0.0) return 0.0;
+  const double area = geom.w * geom.m * geom.l;
+  return m.kf * gm * gm / (m.cox * area * freq);
+}
+
+double resistor_thermal_psd(double r) {
+  return r > 0.0 ? 4.0 * kBoltzmannT / r : 0.0;
+}
+
+}  // namespace gcnrl::sim

@@ -1,0 +1,68 @@
+// First-order MOSFET model ("GL1"): square law with velocity saturation,
+// mobility degradation, channel-length modulation and a smooth
+// subthreshold tail.
+//
+// Design goals, in order: (1) C1-continuous everywhere so Newton converges
+// from cold starts across the whole random-sizing space; (2) physically
+// sensible trends (gm/ID, ro ~ 1/(lambda Id), fT ~ mu Vov / L^2) so sizing
+// trade-offs look like real analog design; (3) cheap. Accuracy against any
+// particular foundry model is a non-goal (see DESIGN.md substitutions).
+//
+// Conventions: NMOS current flows drain->source and is positive for
+// vds > 0. PMOS is handled by mirroring voltages and current. The model is
+// symmetric in drain/source (internal swap for vds < 0).
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "circuit/tech.hpp"
+
+namespace gcnrl::sim {
+
+struct MosModel {
+  bool pmos = false;
+  double vth0 = 0.5;    // [V]
+  double mu0 = 0.04;    // [m^2/Vs]
+  double vsat = 8e4;    // [m/s]
+  double uc = 0.3;      // [1/V]
+  double cox = 8e-3;    // [F/m^2]
+  double lambda_um = 0.05;
+  double cov = 0.0;     // overlap cap per width [F/m]
+  double cj = 0.0;      // junction cap per width [F/m]
+  double kf = 0.0;      // flicker coefficient
+};
+
+MosModel mos_model(const circuit::Technology& tech, bool pmos);
+
+struct MosOp {
+  double id = 0.0;   // drain current (terminal convention above) [A]
+  double gm = 0.0;   // d id / d vgs [S]
+  double gds = 0.0;  // d id / d vds [S]
+  double vov = 0.0;  // effective overdrive [V] (diagnostic)
+};
+
+// Terminal-voltage evaluation with derivatives (derivatives are exact
+// central differences of the same smooth core, so the Newton Jacobian is
+// consistent with the residual to O(h^2)).
+MosOp eval_mos(const MosModel& m, const circuit::Mosfet& geom, double vg,
+               double vd, double vs);
+
+struct MosCaps {
+  double cgs = 0.0;
+  double cgd = 0.0;
+  double cdb = 0.0;
+  double csb = 0.0;
+};
+
+// Bias-independent small-signal capacitances (saturation-mode split).
+MosCaps mos_caps(const MosModel& m, const circuit::Mosfet& geom);
+
+// Noise PSDs at an operating point.
+// Thermal drain-current PSD: 4 k T gamma gm  [A^2/Hz], gamma = 2/3.
+double mos_thermal_psd(double gm);
+// Flicker drain-current PSD at frequency f: kf * gm^2 / (Cox W L M f).
+double mos_flicker_psd(const MosModel& m, const circuit::Mosfet& geom,
+                       double gm, double freq);
+// Resistor thermal PSD: 4 k T / R  [A^2/Hz].
+double resistor_thermal_psd(double r);
+
+}  // namespace gcnrl::sim

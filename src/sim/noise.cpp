@@ -1,0 +1,54 @@
+#include "sim/noise.hpp"
+
+#include <cmath>
+
+#include "sim/ac.hpp"
+
+namespace gcnrl::sim {
+
+NoiseResult solve_noise(const SimContext& ctx, const OpPoint& op,
+                        const std::vector<double>& freqs, int outp,
+                        int outn) {
+  using cd = std::complex<double>;
+  const MnaMap& m = ctx.map;
+  const circuit::Netlist& nl = ctx.nl;
+
+  NoiseResult out;
+  out.freq = freqs;
+  out.out_psd.resize(freqs.size(), 0.0);
+
+  std::vector<cd> e(m.dim(), cd(0.0));
+  if (m.v(outp) >= 0) e[m.v(outp)] += 1.0;
+  if (m.v(outn) >= 0) e[m.v(outn)] -= 1.0;
+
+  for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+    const double f = freqs[fi];
+    const double omega = 2.0 * M_PI * f;
+    la::CMat y = build_ac_matrix(ctx, op, omega);
+    la::Lu<cd> lu(std::move(y));
+    // Adjoint: Y^T ytr = e  =>  v_out(unit injection a->b) = ytr_a - ytr_b.
+    const std::vector<cd> ytr = lu.solve_transposed(e, /*conjugate=*/false);
+
+    auto transfer_sq = [&](int a, int b) {
+      const cd ta = m.v(a) >= 0 ? ytr[m.v(a)] : cd(0.0);
+      const cd tb = m.v(b) >= 0 ? ytr[m.v(b)] : cd(0.0);
+      return std::norm(ta - tb);
+    };
+
+    double psd = 0.0;
+    for (const auto& res : nl.resistors()) {
+      psd += transfer_sq(res.a, res.b) * resistor_thermal_psd(res.r);
+    }
+    for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+      const auto& mos = nl.mosfets()[k];
+      const double gm = std::max(op.mos[k].gm, 0.0);
+      const double s_th = mos_thermal_psd(gm);
+      const double s_fl = mos_flicker_psd(ctx.models[k], mos, gm, f);
+      psd += transfer_sq(mos.d, mos.s) * (s_th + s_fl);
+    }
+    out.out_psd[fi] = psd;
+  }
+  return out;
+}
+
+}  // namespace gcnrl::sim

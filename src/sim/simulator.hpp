@@ -1,0 +1,47 @@
+// Simulator facade: the drop-in for Spectre/Hspice in the sizing loop.
+//
+// One Simulator instance wraps a *sized* netlist plus a technology node;
+// analyses are lazily driven off the (cached) DC operating point. Circuit
+// builders construct one Simulator per analysis configuration (closed
+// loop, open loop, loop-gain injection, ...) because the configurations
+// differ structurally, exactly as separate testbenches would in a real
+// flow.
+#pragma once
+
+#include <optional>
+
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+#include "sim/noise.hpp"
+#include "sim/tran.hpp"
+
+namespace gcnrl::sim {
+
+class Simulator {
+ public:
+  Simulator(const circuit::Netlist& nl, const circuit::Technology& tech)
+      : ctx_(nl, tech) {}
+
+  // DC operating point (computed once, cached). Throws SimError.
+  const OpPoint& op();
+  // Re-solve with transient sources evaluated at t=0 (for tran ICs).
+  OpPoint op_at_time_zero();
+
+  AcResult ac(const std::vector<double>& freqs);
+  NoiseResult noise(const std::vector<double>& freqs, int outp, int outn = 0);
+  TranResult tran(const TranOptions& opt);
+
+  // Power drawn from all supply-like voltage sources: sum of V * I_source
+  // for sources delivering power (I out of + terminal, same sign as V).
+  double supply_power();
+  // Current delivered by a named voltage source (positive out of +).
+  double source_current(const std::string& vsrc_name);
+
+  [[nodiscard]] const SimContext& context() const { return ctx_; }
+
+ private:
+  SimContext ctx_;
+  std::optional<OpPoint> op_;
+};
+
+}  // namespace gcnrl::sim

@@ -1,0 +1,162 @@
+#include "sim/tran.hpp"
+
+#include <cmath>
+
+namespace gcnrl::sim {
+namespace {
+
+double src_at(double dc, const circuit::Pwl& pwl, double t) {
+  return pwl.empty() ? dc : pwl.at(t);
+}
+
+}  // namespace
+
+TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
+                      const TranOptions& opt) {
+  const MnaMap& m = ctx.map;
+  const circuit::Netlist& nl = ctx.nl;
+  const int steps = static_cast<int>(std::ceil(opt.tstop / opt.dt));
+
+  TranResult out;
+  out.t.reserve(steps + 1);
+  out.v = la::Mat(steps + 1, m.num_nodes());
+
+  // Unknown vector from the initial condition.
+  std::vector<double> x(m.dim(), 0.0);
+  for (int node = 1; node < m.num_nodes(); ++node) x[m.v(node)] = ic.v[node];
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    x[m.branch(static_cast<int>(k))] = ic.branch_i[k];
+  }
+  out.t.push_back(0.0);
+  for (int node = 0; node < m.num_nodes(); ++node) out.v(0, node) = ic.v[node];
+
+  std::vector<double> x_prev = x;
+  auto volt = [&](const std::vector<double>& xx, int node) {
+    return node == 0 ? 0.0 : xx[m.v(node)];
+  };
+
+  const double gh = 1.0 / opt.dt;
+  for (int step = 1; step <= steps; ++step) {
+    const double t_now = step * opt.dt;
+    bool converged = false;
+    for (int iter = 0; iter < opt.max_newton; ++iter) {
+      la::Mat j(m.dim(), m.dim());
+      std::vector<double> f(m.dim(), 0.0);
+
+      for (const auto& res : nl.resistors()) {
+        const double g = 1.0 / std::max(res.r, 1e-3);
+        stamp_conductance(j, m, res.a, res.b, g);
+        const double i = g * (volt(x, res.a) - volt(x, res.b));
+        if (m.v(res.a) >= 0) f[m.v(res.a)] += i;
+        if (m.v(res.b) >= 0) f[m.v(res.b)] -= i;
+      }
+
+      // Linear capacitors: backward-Euler companion model.
+      auto stamp_cap = [&](int a, int b, double c) {
+        const double g = c * gh;
+        stamp_conductance(j, m, a, b, g);
+        const double dv_now = volt(x, a) - volt(x, b);
+        const double dv_prev = volt(x_prev, a) - volt(x_prev, b);
+        const double i = g * (dv_now - dv_prev);
+        if (m.v(a) >= 0) f[m.v(a)] += i;
+        if (m.v(b) >= 0) f[m.v(b)] -= i;
+      };
+      for (const auto& cap : nl.capacitors()) stamp_cap(cap.a, cap.b, cap.c);
+
+      for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+        const auto& mos = nl.mosfets()[k];
+        const MosOp op = eval_mos(ctx.models[k], mos, volt(x, mos.g),
+                                  volt(x, mos.d), volt(x, mos.s));
+        const int id_row = m.v(mos.d);
+        const int is_row = m.v(mos.s);
+        if (id_row >= 0) f[id_row] += op.id;
+        if (is_row >= 0) f[is_row] -= op.id;
+        const int cg = m.v(mos.g);
+        const int cd = m.v(mos.d);
+        const int cs = m.v(mos.s);
+        auto add = [&](int row, double sign) {
+          if (row < 0) return;
+          if (cg >= 0) j(row, cg) += sign * op.gm;
+          if (cd >= 0) j(row, cd) += sign * op.gds;
+          if (cs >= 0) j(row, cs) -= sign * (op.gm + op.gds);
+        };
+        add(id_row, 1.0);
+        add(is_row, -1.0);
+        // Device capacitances, same companion treatment.
+        const MosCaps& c = ic.caps[k];
+        stamp_cap(mos.g, mos.s, c.cgs);
+        stamp_cap(mos.g, mos.d, c.cgd);
+        stamp_cap(mos.d, mos.b, c.cdb);
+        stamp_cap(mos.s, mos.b, c.csb);
+      }
+
+      for (const auto& src : nl.isources()) {
+        const double i = src_at(src.dc, src.pwl, t_now);
+        if (m.v(src.p) >= 0) f[m.v(src.p)] += i;
+        if (m.v(src.n) >= 0) f[m.v(src.n)] -= i;
+      }
+      for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+        const auto& src = nl.vsources()[k];
+        const int b = m.branch(static_cast<int>(k));
+        const double i = x[b];
+        if (m.v(src.p) >= 0) {
+          f[m.v(src.p)] += i;
+          j(m.v(src.p), b) += 1.0;
+          j(b, m.v(src.p)) += 1.0;
+        }
+        if (m.v(src.n) >= 0) {
+          f[m.v(src.n)] -= i;
+          j(m.v(src.n), b) -= 1.0;
+          j(b, m.v(src.n)) -= 1.0;
+        }
+        f[b] = volt(x, src.p) - volt(x, src.n) -
+               src_at(src.dc, src.pwl, t_now);
+      }
+
+      for (int node = 1; node < m.num_nodes(); ++node) {
+        const int row = m.v(node);
+        j(row, row) += opt.gmin;
+        f[row] += opt.gmin * x[row];
+      }
+
+      std::vector<double> rhs(f.size());
+      for (std::size_t i = 0; i < f.size(); ++i) rhs[i] = -f[i];
+      std::vector<double> dx;
+      try {
+        dx = la::Lu<double>(std::move(j)).solve(rhs);
+      } catch (const la::SingularMatrixError&) {
+        throw SimError("transient: singular Jacobian at t=" +
+                       std::to_string(t_now));
+      }
+      double max_dv = 0.0;
+      const int nv = m.num_nodes() - 1;
+      for (int i = 0; i < nv; ++i) max_dv = std::max(max_dv, std::fabs(dx[i]));
+      const double scale =
+          max_dv > opt.step_limit ? opt.step_limit / max_dv : 1.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] += scale * dx[i];
+        if (!std::isfinite(x[i])) {
+          throw SimError("transient: divergence at t=" + std::to_string(t_now));
+        }
+      }
+      double max_res = 0.0;
+      for (int i = 0; i < nv; ++i) max_res = std::max(max_res, std::fabs(f[i]));
+      if (scale == 1.0 && max_dv < opt.tol_step &&
+          max_res < opt.tol_residual) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      throw SimError("transient: Newton failed at t=" + std::to_string(t_now));
+    }
+    out.t.push_back(t_now);
+    for (int node = 1; node < m.num_nodes(); ++node) {
+      out.v(step, node) = x[m.v(node)];
+    }
+    x_prev = x;
+  }
+  return out;
+}
+
+}  // namespace gcnrl::sim

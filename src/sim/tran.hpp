@@ -1,0 +1,39 @@
+// Large-signal transient analysis (backward Euler).
+//
+// Backward Euler is L-stable, which matters more than second-order
+// accuracy here: the LDO settling benchmarks drive the loop with abrupt
+// load/line steps and we must never ring numerically. Capacitors use the
+// standard companion model (G = C/h plus a history current); MOSFETs are
+// re-linearized by Newton at every timestep starting from the previous
+// solution, which converges in a couple of iterations along a smooth
+// waveform.
+#pragma once
+
+#include "sim/dc.hpp"
+#include "sim/mna.hpp"
+
+namespace gcnrl::sim {
+
+struct TranOptions {
+  double tstop = 1e-6;   // [s]
+  double dt = 1e-9;      // fixed timestep [s]
+  int max_newton = 60;
+  double gmin = 1e-12;
+  double step_limit = 1.0;  // Newton voltage damping [V]
+  double tol_residual = 1e-8;
+  double tol_step = 2e-5;
+};
+
+struct TranResult {
+  std::vector<double> t;  // timestamps (t[0] = 0 = DC initial condition)
+  la::Mat v;              // t.size() x num_nodes node voltages
+
+  [[nodiscard]] double at(int step, int node) const { return v(step, node); }
+};
+
+// `ic` must be the operating point with sources evaluated at t=0 (use
+// DcOptions::source_time = 0 when transient sources are present).
+TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
+                      const TranOptions& opt);
+
+}  // namespace gcnrl::sim

@@ -1,0 +1,288 @@
+// Tests for netlist construction, topology-graph extraction, the
+// technology library and design-space refinement.
+#include <gtest/gtest.h>
+
+#include "circuit/design_space.hpp"
+#include "circuit/graph.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/tech.hpp"
+#include "common/rng.hpp"
+
+namespace circuit = gcnrl::circuit;
+namespace la = gcnrl::la;
+using circuit::Kind;
+using gcnrl::Rng;
+
+namespace {
+
+// A little 2-transistor + R + C test circuit:
+//   vdd supply; M1 NMOS (drain n1, gate nin), M2 PMOS load (drain n1),
+//   R1 from n1 to nout, C1 from nout to ground.
+circuit::Netlist tiny_netlist() {
+  circuit::Netlist nl;
+  const int vdd = nl.node("vdd");
+  nl.mark_supply("vdd");
+  const int nin = nl.node("nin");
+  const int n1 = nl.node("n1");
+  const int nout = nl.node("nout");
+  nl.add_vsource("vsup", vdd, 0, 1.8);
+  nl.add_nmos("M1", n1, nin, 0, 0, 2e-6, 0.2e-6);
+  nl.add_pmos("M2", n1, nin, vdd, vdd, 4e-6, 0.2e-6);
+  nl.add_resistor("R1", n1, nout, 1e4);
+  nl.add_capacitor("C1", nout, 0, 1e-12);
+  return nl;
+}
+
+}  // namespace
+
+TEST(Netlist, GroundAliases) {
+  circuit::Netlist nl;
+  EXPECT_EQ(nl.node("0"), 0);
+  EXPECT_EQ(nl.node("gnd"), 0);
+  EXPECT_EQ(nl.node("vss"), 0);
+  EXPECT_TRUE(nl.is_supply(0));
+}
+
+TEST(Netlist, NodeDeduplication) {
+  circuit::Netlist nl;
+  const int a = nl.node("x");
+  const int b = nl.node("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(nl.num_nodes(), 2);  // ground + x
+  EXPECT_FALSE(nl.find_node("missing").has_value());
+  EXPECT_TRUE(nl.find_node("x").has_value());
+}
+
+TEST(Netlist, DesignComponentOrderAndKinds) {
+  circuit::Netlist nl = tiny_netlist();
+  ASSERT_EQ(nl.num_design_components(), 4);
+  EXPECT_EQ(nl.design_kind(0), Kind::Nmos);
+  EXPECT_EQ(nl.design_kind(1), Kind::Pmos);
+  EXPECT_EQ(nl.design_kind(2), Kind::Resistor);
+  EXPECT_EQ(nl.design_kind(3), Kind::Capacitor);
+  EXPECT_EQ(nl.find_design("R1"), 2);
+  EXPECT_EQ(nl.find_design("nope"), -1);
+}
+
+TEST(Netlist, NonDesignableExcluded) {
+  circuit::Netlist nl;
+  nl.add_resistor("Rfixed", nl.node("a"), 0, 1e3, /*designable=*/false);
+  EXPECT_EQ(nl.num_design_components(), 0);
+  EXPECT_EQ(nl.resistors().size(), 1u);
+}
+
+TEST(Netlist, SetDesignParams) {
+  circuit::Netlist nl = tiny_netlist();
+  nl.set_design_params(0, {5e-6, 0.5e-6, 3.0});
+  EXPECT_DOUBLE_EQ(nl.mosfets()[0].w, 5e-6);
+  EXPECT_DOUBLE_EQ(nl.mosfets()[0].l, 0.5e-6);
+  EXPECT_EQ(nl.mosfets()[0].m, 3);
+  nl.set_design_params(2, {4.7e3, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(nl.resistors()[0].r, 4.7e3);
+  const auto back = nl.design_params(0);
+  EXPECT_DOUBLE_EQ(back[0], 5e-6);
+}
+
+TEST(Pwl, InterpolationAndEdges) {
+  circuit::Pwl pwl{{{1.0, 0.0}, {2.0, 10.0}}};
+  EXPECT_DOUBLE_EQ(pwl.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pwl.at(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(pwl.at(3.0), 10.0);
+}
+
+TEST(Graph, AdjacencyExcludesSupply) {
+  circuit::Netlist nl = tiny_netlist();
+  const la::Mat a = circuit::build_adjacency(nl);
+  ASSERT_EQ(a.rows(), 4);
+  // M1-M2 share n1 and nin; M1/M2-R1 share n1; R1-C1 share nout.
+  EXPECT_EQ(a(0, 1), 1.0);
+  EXPECT_EQ(a(0, 2), 1.0);
+  EXPECT_EQ(a(1, 2), 1.0);
+  EXPECT_EQ(a(2, 3), 1.0);
+  // M1/M2 do not touch C1 except through R1.
+  EXPECT_EQ(a(0, 3), 0.0);
+  EXPECT_EQ(a(1, 3), 0.0);
+  // No self loops; symmetric.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a(i, i), 0.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(a(i, j), a(j, i));
+  }
+}
+
+TEST(Graph, SupplyInclusionFlag) {
+  circuit::Netlist nl = tiny_netlist();
+  const la::Mat with_supply =
+      circuit::build_adjacency(nl, /*exclude_supply_nets=*/false);
+  // Including ground connects C1 to M1 (both touch ground).
+  EXPECT_EQ(with_supply(0, 3), 1.0);
+}
+
+TEST(Graph, ConnectivityAndDiameter) {
+  circuit::Netlist nl = tiny_netlist();
+  const la::Mat a = circuit::build_adjacency(nl);
+  EXPECT_EQ(circuit::connected_components(a), 1);
+  EXPECT_EQ(circuit::graph_diameter(a), 2);  // M1 .. C1 via R1
+  // Empty graph: every vertex its own component.
+  la::Mat empty(3, 3);
+  EXPECT_EQ(circuit::connected_components(empty), 3);
+}
+
+TEST(Tech, AllNodesConstruct) {
+  for (const auto& name : circuit::available_nodes()) {
+    const circuit::Technology t = circuit::make_technology(name);
+    EXPECT_EQ(t.name, name);
+    EXPECT_GT(t.vdd, 0.0);
+    EXPECT_GT(t.cox, 0.0);
+    EXPECT_LT(t.lmin, t.lmax);
+    EXPECT_LT(t.wmin, t.wmax);
+  }
+  EXPECT_THROW(circuit::make_technology("7nm"), std::invalid_argument);
+}
+
+TEST(Tech, ScalingTrendsAcrossNodes) {
+  const auto t250 = circuit::make_technology("250nm");
+  const auto t45 = circuit::make_technology("45nm");
+  EXPECT_GT(t250.vdd, t45.vdd);
+  EXPECT_GT(t250.vth0_n, t45.vth0_n);
+  EXPECT_LT(t250.cox, t45.cox);  // thinner oxide -> higher Cox
+  EXPECT_GT(t250.lmin, t45.lmin);
+}
+
+TEST(Tech, ModelFeaturesPerKind) {
+  const auto t = circuit::make_technology("180nm");
+  const auto fn = t.model_features(Kind::Nmos);
+  const auto fp = t.model_features(Kind::Pmos);
+  const auto fr = t.model_features(Kind::Resistor);
+  EXPECT_GT(fn[1], 0.0);  // NMOS vth positive
+  EXPECT_LT(fp[1], 0.0);  // PMOS feature sign-flipped
+  for (double v : fr) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ParamRange, DenormalizeEndpointsAndMid) {
+  circuit::ParamRange lin{0.0, 10.0, false, 0.0, false};
+  EXPECT_DOUBLE_EQ(lin.denormalize(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(lin.denormalize(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(lin.denormalize(0.0), 5.0);
+  circuit::ParamRange log{1.0, 100.0, true, 0.0, false};
+  EXPECT_DOUBLE_EQ(log.denormalize(-1.0), 1.0);
+  EXPECT_NEAR(log.denormalize(0.0), 10.0, 1e-12);
+  EXPECT_NEAR(log.denormalize(1.0), 100.0, 1e-9);
+}
+
+TEST(ParamRange, NormalizeIsInverse) {
+  circuit::ParamRange log{2.0, 2000.0, true, 0.0, false};
+  for (double a : {-1.0, -0.3, 0.0, 0.7, 1.0}) {
+    EXPECT_NEAR(log.normalize(log.denormalize(a)), a, 1e-9);
+  }
+}
+
+TEST(ParamRange, RefineQuantizes) {
+  circuit::ParamRange grid{0.0, 1.0, false, 0.25, false};
+  EXPECT_DOUBLE_EQ(grid.refine_value(0.30), 0.25);
+  EXPECT_DOUBLE_EQ(grid.refine_value(0.40), 0.50);
+  EXPECT_DOUBLE_EQ(grid.refine_value(2.0), 1.0);  // clamped
+  circuit::ParamRange integer{1.0, 8.0, false, 0.0, true};
+  EXPECT_DOUBLE_EQ(integer.refine_value(3.4), 3.0);
+  EXPECT_DOUBLE_EQ(integer.refine_value(0.2), 1.0);
+}
+
+TEST(DesignSpace, FromNetlistShapes) {
+  circuit::Netlist nl = tiny_netlist();
+  const auto tech = circuit::make_technology("180nm");
+  const auto ds = circuit::DesignSpace::from_netlist(nl, tech);
+  EXPECT_EQ(ds.num_components(), 4);
+  EXPECT_EQ(ds.flat_dim(), 3 + 3 + 1 + 1);
+}
+
+TEST(DesignSpace, RefineRespectsBoundsAndGrid) {
+  circuit::Netlist nl = tiny_netlist();
+  const auto tech = circuit::make_technology("180nm");
+  const auto ds = circuit::DesignSpace::from_netlist(nl, tech);
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    const la::Mat a = ds.random_actions(rng);
+    const auto p = ds.refine(a);
+    for (int i = 0; i < ds.num_components(); ++i) {
+      for (int d = 0; d < ds.comp(i).nparams(); ++d) {
+        const auto& pr = ds.comp(i).p[d];
+        EXPECT_GE(p.v[i][d], pr.lo - 1e-15);
+        EXPECT_LE(p.v[i][d], pr.hi + 1e-15);
+        if (pr.grid > 0.0) {
+          const double steps = p.v[i][d] / pr.grid;
+          EXPECT_NEAR(steps, std::round(steps), 1e-6);
+        }
+        if (pr.integer) {
+          EXPECT_NEAR(p.v[i][d], std::round(p.v[i][d]), 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(DesignSpace, MatchGroupsForceEquality) {
+  circuit::Netlist nl;
+  const int n1 = nl.node("n1");
+  const int n2 = nl.node("n2");
+  nl.add_nmos("Ma", n1, n2, 0, 0, 1e-6, 1e-6);
+  nl.add_nmos("Mb", n2, n1, 0, 0, 1e-6, 1e-6);
+  nl.add_nmos("Mc", n1, n1, 0, 0, 1e-6, 1e-6);
+  const auto tech = circuit::make_technology("180nm");
+  auto ds = circuit::DesignSpace::from_netlist(nl, tech);
+  ds.add_match_group(nl, {"Ma", "Mb"});           // full match
+  ds.add_match_group(nl, {"Mb", "Mc"}, true);     // L-only
+  Rng rng(11);
+  const la::Mat a = ds.random_actions(rng);
+  const auto p = ds.refine(a);
+  EXPECT_DOUBLE_EQ(p.v[0][0], p.v[1][0]);  // W matched
+  EXPECT_DOUBLE_EQ(p.v[0][1], p.v[1][1]);  // L matched
+  EXPECT_DOUBLE_EQ(p.v[0][2], p.v[1][2]);  // M matched
+  EXPECT_DOUBLE_EQ(p.v[1][1], p.v[2][1]);  // L chained via group 2
+  EXPECT_THROW(ds.add_match_group(nl, {"Ma", "nothere"}),
+               std::invalid_argument);
+}
+
+TEST(DesignSpace, FlattenUnflattenRoundTrip) {
+  circuit::Netlist nl = tiny_netlist();
+  const auto tech = circuit::make_technology("180nm");
+  const auto ds = circuit::DesignSpace::from_netlist(nl, tech);
+  Rng rng(12);
+  const la::Mat a = ds.random_actions(rng);
+  const auto flat = ds.flatten(a);
+  EXPECT_EQ(static_cast<int>(flat.size()), ds.flat_dim());
+  const la::Mat back = ds.unflatten(flat);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int d = 0; d < ds.comp(i).nparams(); ++d) {
+      EXPECT_DOUBLE_EQ(a(i, d), back(i, d));
+    }
+  }
+}
+
+TEST(DesignSpace, ActionsFromParamsInverse) {
+  circuit::Netlist nl = tiny_netlist();
+  const auto tech = circuit::make_technology("180nm");
+  const auto ds = circuit::DesignSpace::from_netlist(nl, tech);
+  Rng rng(13);
+  const la::Mat a = ds.random_actions(rng);
+  const auto p = ds.refine(a);
+  const la::Mat a2 = ds.actions_from_params(p);
+  const auto p2 = ds.refine(a2);
+  for (std::size_t i = 0; i < p.v.size(); ++i) {
+    for (int d = 0; d < ds.comp(static_cast<int>(i)).nparams(); ++d) {
+      // Round-trip through normalized space must be grid-stable.
+      EXPECT_NEAR(p.v[i][d], p2.v[i][d],
+                  1e-6 * std::max(1.0, std::fabs(p.v[i][d])));
+    }
+  }
+}
+
+TEST(DesignSpace, ApplyWritesNetlist) {
+  circuit::Netlist nl = tiny_netlist();
+  const auto tech = circuit::make_technology("180nm");
+  const auto ds = circuit::DesignSpace::from_netlist(nl, tech);
+  Rng rng(14);
+  const auto p = ds.refine(ds.random_actions(rng));
+  ds.apply(nl, p);
+  EXPECT_DOUBLE_EQ(nl.mosfets()[0].w, p.v[0][0]);
+  EXPECT_DOUBLE_EQ(nl.resistors()[0].r, p.v[2][0]);
+  EXPECT_DOUBLE_EQ(nl.capacitors()[0].c, p.v[3][0]);
+}

@@ -1,0 +1,166 @@
+// Integration tests over the four benchmark circuits: construction,
+// topology-graph sanity, human-expert evaluation, determinism, cross-node
+// builds, and randomized robustness of the full evaluate pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/graph.hpp"
+#include "circuits/benchmark_circuits.hpp"
+#include "env/sizing_env.hpp"
+#include "sim/simulator.hpp"
+
+using namespace gcnrl;
+namespace sim = gcnrl::sim;
+
+namespace {
+
+const auto kTech = circuit::make_technology("180nm");
+
+}  // namespace
+
+class BenchmarkCircuitTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkCircuitTest, BuildsWithConnectedGraph) {
+  const auto bc = circuits::make_benchmark(GetParam(), kTech);
+  EXPECT_GT(bc.netlist.num_design_components(), 5);
+  const auto adj = circuit::build_adjacency(bc.netlist);
+  EXPECT_EQ(circuit::connected_components(adj), 1)
+      << "topology graph must be connected";
+  // The paper's 7-layer GCN receptive-field claim needs diameter <= 7.
+  EXPECT_LE(circuit::graph_diameter(adj), 7);
+}
+
+TEST_P(BenchmarkCircuitTest, HumanExpertSimulatesAndMeetsSpec) {
+  const auto bc = circuits::make_benchmark(GetParam(), kTech);
+  env::SizingEnv env(bc);
+  const auto r = env.evaluate_params(bc.human_expert);
+  EXPECT_TRUE(r.sim_ok);
+  EXPECT_TRUE(r.spec_ok);
+  for (const auto& md : bc.fom.metrics) {
+    ASSERT_EQ(r.metrics.count(md.name), 1u) << md.name;
+    EXPECT_TRUE(std::isfinite(r.metrics.at(md.name))) << md.name;
+  }
+}
+
+TEST_P(BenchmarkCircuitTest, EvaluationIsDeterministic) {
+  const auto bc = circuits::make_benchmark(GetParam(), kTech);
+  env::SizingEnv e1(bc);
+  env::SizingEnv e2(bc);
+  Rng r1(42), r2(42);
+  const auto a1 = e1.random_actions(r1);
+  const auto a2 = e2.random_actions(r2);
+  const auto v1 = e1.step(a1);
+  const auto v2 = e2.step(a2);
+  EXPECT_EQ(v1.sim_ok, v2.sim_ok);
+  if (v1.sim_ok) {
+    for (const auto& [k, v] : v1.metrics) {
+      EXPECT_DOUBLE_EQ(v, v2.metrics.at(k)) << k;
+    }
+  }
+}
+
+TEST_P(BenchmarkCircuitTest, BuildsOnEveryTechnologyNode) {
+  for (const auto& node : circuit::available_nodes()) {
+    const auto tech = circuit::make_technology(node);
+    const auto bc = circuits::make_benchmark(GetParam(), tech);
+    env::SizingEnv env(bc);
+    const auto r = env.evaluate_params(bc.human_expert);
+    // The 180nm-tuned human sizing need not be optimal elsewhere, but the
+    // netlist must build and the simulator must run on every node.
+    EXPECT_TRUE(r.sim_ok || !r.sim_ok);  // no throw is the contract
+    EXPECT_EQ(env.n(), env::SizingEnv(bc).n());
+  }
+}
+
+TEST_P(BenchmarkCircuitTest, RandomDesignsNeverCrash) {
+  const auto bc = circuits::make_benchmark(GetParam(), kTech);
+  env::SizingEnv env(bc);
+  Rng rng(7);
+  int ok = 0;
+  for (int i = 0; i < 15; ++i) {
+    const auto r = env.step(env.random_actions(rng));
+    if (r.sim_ok) {
+      ++ok;
+      for (const auto& md : bc.fom.metrics) {
+        EXPECT_TRUE(std::isfinite(r.metrics.at(md.name)));
+      }
+    } else {
+      EXPECT_DOUBLE_EQ(r.fom, bc.fom.sim_fail_fom);
+    }
+    EXPECT_GE(r.fom, bc.fom.sim_fail_fom);
+    EXPECT_LE(r.fom, bc.fom.max_fom());
+  }
+  EXPECT_GT(ok, 0) << "at least some random designs must simulate";
+}
+
+TEST_P(BenchmarkCircuitTest, CalibrationPopulatesNormalizers) {
+  auto bc = circuits::make_benchmark(GetParam(), kTech);
+  env::SizingEnv env(std::move(bc));
+  Rng rng(11);
+  const int ok = env.calibrate(30, rng);
+  EXPECT_GT(ok, 0);
+  for (const auto& md : env.bench().fom.metrics) {
+    EXPECT_LT(md.mmin, md.mmax) << md.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, BenchmarkCircuitTest,
+                         ::testing::Values("Two-TIA", "Two-Volt",
+                                           "Three-TIA", "LDO"));
+
+TEST(BenchmarkRegistry, NamesAndUnknown) {
+  EXPECT_EQ(circuits::benchmark_names().size(), 4u);
+  EXPECT_THROW(circuits::make_benchmark("nope", kTech),
+               std::invalid_argument);
+}
+
+TEST(TwoTia, SpecCreatesGainBandwidthTension) {
+  // The BW floor must reject the "huge RF" corner: set RF to its maximum
+  // and check the spec fails on bandwidth.
+  auto bc = circuits::make_two_tia(kTech);
+  env::SizingEnv env(bc);
+  Rng rng(13);
+  env.calibrate(40, rng);
+  auto p = bc.human_expert;
+  p.v[7][0] = 1e6;  // RF -> 1 MOhm
+  const auto r = env.evaluate_params(p);
+  ASSERT_TRUE(r.sim_ok);
+  EXPECT_LT(r.metrics.at("bw"), 5e7);
+  EXPECT_FALSE(r.spec_ok);
+  EXPECT_DOUBLE_EQ(r.fom, env.bench().fom.spec_fail_fom);
+}
+
+TEST(ThreeTia, MatchedPairsStayMatched) {
+  const auto bc = circuits::make_benchmark("Three-TIA", kTech);
+  Rng rng(17);
+  const auto p = bc.space.refine(bc.space.random_actions(rng));
+  const int t1 = bc.netlist.find_design("T1");
+  const int t2 = bc.netlist.find_design("T2");
+  for (int d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(p.v[t1][d], p.v[t2][d]);
+  // Mirror legs share L only.
+  const int t13 = bc.netlist.find_design("T13");
+  const int t15 = bc.netlist.find_design("T15");
+  EXPECT_DOUBLE_EQ(p.v[t13][1], p.v[t15][1]);
+}
+
+TEST(Ldo, RegulatesAtNominalLoad) {
+  const auto bc = circuits::make_benchmark("LDO", kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::Simulator s(nl, kTech);
+  const double vout = s.op().node(nl.find_node("vout").value());
+  // Target = vref * (1 + R1/R2) = 0.9 * 1.5 = 1.35 V.
+  EXPECT_NEAR(vout, 1.35, 0.08);
+}
+
+TEST(TwoVolt, OutputCommonModeFollowsReference) {
+  const auto bc = circuits::make_benchmark("Two-Volt", kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::Simulator s(nl, kTech);
+  const double voa = s.op().node(nl.find_node("voa").value());
+  const double vob = s.op().node(nl.find_node("vob").value());
+  EXPECT_NEAR((voa + vob) / 2.0, kTech.vdd / 2.0, 0.12);
+  EXPECT_NEAR(voa, vob, 1e-6);  // symmetric circuit
+}

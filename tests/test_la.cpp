@@ -1,0 +1,267 @@
+// Unit tests for the dense linear-algebra substrate.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "la/stats.hpp"
+
+namespace la = gcnrl::la;
+using gcnrl::Rng;
+
+namespace {
+
+la::Mat random_mat(int r, int c, Rng& rng, double scale = 1.0) {
+  la::Mat m(r, c);
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) m(i, j) = rng.uniform(-scale, scale);
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Matrix, ConstructionAndAccess) {
+  la::Mat m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  la::Mat m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, IdentityAndArithmetic) {
+  la::Mat i = la::Mat::identity(3);
+  la::Mat m = i * 2.0;
+  m += i;
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  la::Mat d = m - i;
+  EXPECT_DOUBLE_EQ(d(2, 2), 2.0);
+}
+
+TEST(Matrix, MatmulAgainstManual) {
+  la::Mat a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  la::Mat b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  la::Mat c = la::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MatmulTransposedVariantsAgree) {
+  Rng rng(7);
+  la::Mat a = random_mat(5, 4, rng);
+  la::Mat b = random_mat(5, 3, rng);
+  la::Mat c1 = la::matmul_tn(a, b);            // A^T B
+  la::Mat c2 = la::matmul(a.transpose(), b);
+  ASSERT_TRUE(c1.same_shape(c2));
+  for (int i = 0; i < c1.rows(); ++i) {
+    for (int j = 0; j < c1.cols(); ++j) {
+      EXPECT_NEAR(c1(i, j), c2(i, j), 1e-12);
+    }
+  }
+  la::Mat d = random_mat(4, 5, rng);
+  la::Mat e1 = la::matmul_nt(a, d.transpose());  // A * D (since (D^T)^T = D)
+  la::Mat e2 = la::matmul(a, d);
+  for (int i = 0; i < e1.rows(); ++i) {
+    for (int j = 0; j < e1.cols(); ++j) {
+      EXPECT_NEAR(e1(i, j), e2(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, Hadamard) {
+  la::Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  la::Mat b{{2.0, 0.5}, {1.0, 0.25}};
+  la::Mat c = la::hadamard(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 1.0);
+}
+
+TEST(Lu, SolvesRandomSystem) {
+  Rng rng(42);
+  const int n = 12;
+  la::Mat a = random_mat(n, n, rng);
+  for (int i = 0; i < n; ++i) a(i, i) += 5.0;  // diagonally dominant-ish
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+  }
+  const auto x = la::solve(a, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  la::Mat a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto x = la::solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  la::Mat a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(la::Lu<double>{a}, la::SingularMatrixError);
+}
+
+TEST(Lu, SolveTransposed) {
+  Rng rng(3);
+  const int n = 8;
+  la::Mat a = random_mat(n, n, rng);
+  for (int i = 0; i < n; ++i) a(i, i) += 4.0;
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  la::Lu<double> lu(a);
+  const auto x = lu.solve_transposed(b);
+  // Check A^T x = b.
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += a(j, i) * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-9);
+  }
+}
+
+TEST(Lu, ComplexSystem) {
+  using cd = std::complex<double>;
+  la::CMat a(2, 2);
+  a(0, 0) = cd(1.0, 1.0);
+  a(0, 1) = cd(0.0, -1.0);
+  a(1, 0) = cd(2.0, 0.0);
+  a(1, 1) = cd(0.0, 2.0);
+  std::vector<cd> x_true{cd(1.0, -1.0), cd(0.5, 2.0)};
+  std::vector<cd> b(2, cd(0.0));
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) b[i] += a(i, j) * x_true[j];
+  }
+  const auto x = la::solve(a, b);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Lu, ComplexConjugateTransposeSolve) {
+  using cd = std::complex<double>;
+  Rng rng(11);
+  const int n = 6;
+  la::CMat a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = cd(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    }
+    a(i, i) += cd(4.0, 0.0);
+  }
+  std::vector<cd> b(n);
+  for (auto& v : b) v = cd(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  la::Lu<cd> lu(a);
+  const auto x = lu.solve_transposed(b, /*conjugate=*/true);
+  for (int i = 0; i < n; ++i) {
+    cd acc(0.0);
+    for (int j = 0; j < n; ++j) acc += std::conj(a(j, i)) * x[j];
+    EXPECT_NEAR(std::abs(acc - b[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Cholesky, SolveSpd) {
+  Rng rng(5);
+  const int n = 10;
+  la::Mat g = random_mat(n, n, rng);
+  // A = G G^T + n I is SPD.
+  la::Mat a = la::matmul_nt(g, g);
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+  }
+  la::Cholesky chol(a);
+  const auto x = chol.solve(b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  la::Mat a{{4.0, 0.0}, {0.0, 9.0}};
+  la::Cholesky chol(a);
+  EXPECT_NEAR(chol.log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  la::Mat a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(la::Cholesky{a}, la::NotPositiveDefiniteError);
+}
+
+TEST(Stats, MeanStd) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(la::mean(v), 2.5);
+  EXPECT_NEAR(la::stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(la::min_of(v), 1.0);
+  EXPECT_DOUBLE_EQ(la::max_of(v), 4.0);
+}
+
+TEST(Stats, NormalizeColumns) {
+  la::Mat m{{1.0, 5.0}, {3.0, 5.0}, {5.0, 5.0}};
+  const auto st = la::normalize_columns(m);
+  EXPECT_DOUBLE_EQ(st.mean[0], 3.0);
+  // Column 0 has zero mean / unit-ish scaling after normalization.
+  EXPECT_NEAR(m(0, 0) + m(2, 0), 0.0, 1e-12);
+  EXPECT_NEAR(m(1, 0), 0.0, 1e-12);
+  // Constant column: centered, not scaled (std fallback = 1).
+  EXPECT_NEAR(m(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(m(2, 1), 0.0, 1e-12);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto k = r.uniform_index(7);
+    EXPECT_LT(k, 7u);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(77);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng r(31);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = r.truncated_normal(0.0, 2.0, -0.5, 0.5);
+    EXPECT_GE(x, -0.5);
+    EXPECT_LE(x, 0.5);
+  }
+}
+
+TEST(MatrixHelpers, NormsAndFinite) {
+  la::Mat m{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(la::frobenius_norm(m), 5.0);
+  EXPECT_DOUBLE_EQ(la::max_abs(m), 4.0);
+  EXPECT_TRUE(la::all_finite(m));
+  m(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(la::all_finite(m));
+}

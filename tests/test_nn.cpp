@@ -1,0 +1,205 @@
+// Tests for the NN stack: Linear, GCN layer, Adam, init, serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "nn/adam.hpp"
+#include "nn/gcn.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/serialize.hpp"
+
+namespace ag = gcnrl::ag;
+namespace la = gcnrl::la;
+namespace nn = gcnrl::nn;
+using gcnrl::Rng;
+
+TEST(Init, XavierBounds) {
+  Rng rng(1);
+  const la::Mat m = nn::xavier_uniform(30, 50, rng);
+  const double a = std::sqrt(6.0 / 80.0);
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      EXPECT_LE(std::fabs(m(r, c)), a);
+    }
+  }
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(2);
+  nn::Linear lin("l", 3, 2, rng);
+  la::Mat x{{1.0, 2.0, 3.0}, {-1.0, 0.5, 0.0}};
+  ag::Tape tape;
+  ag::Var y = lin.forward(tape, tape.input(x));
+  ASSERT_EQ(y.rows(), 2);
+  ASSERT_EQ(y.cols(), 2);
+  const la::Mat& w = lin.parameters()[0]->value;
+  const la::Mat& b = lin.parameters()[1]->value;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      double expect = b(0, c);
+      for (int k = 0; k < 3; ++k) expect += x(r, k) * w(k, c);
+      EXPECT_NEAR(y.value()(r, c), expect, 1e-12);
+    }
+  }
+}
+
+TEST(Linear, GradientsFlowToParameters) {
+  Rng rng(3);
+  nn::Linear lin("l", 2, 2, rng);
+  la::Mat x{{1.0, -1.0}};
+  ag::Tape tape;
+  lin.zero_grad();
+  ag::Var loss = ag::sum_all(lin.forward(tape, tape.input(x)));
+  tape.backward(loss);
+  // d loss / d b = 1 per output; d loss / d w = x^T broadcast.
+  const la::Mat& gb = lin.parameters()[1]->grad;
+  EXPECT_DOUBLE_EQ(gb(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(gb(0, 1), 1.0);
+  const la::Mat& gw = lin.parameters()[0]->grad;
+  EXPECT_DOUBLE_EQ(gw(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(gw(1, 1), -1.0);
+}
+
+TEST(Gcn, NormalizedAdjacencyTwoNodeChain) {
+  // A = [[0,1],[1,0]]; A+I has all degrees 2 -> A-hat = 0.5 everywhere.
+  la::Mat a{{0.0, 1.0}, {1.0, 0.0}};
+  const la::Mat ahat = nn::normalized_adjacency(a);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) EXPECT_NEAR(ahat(i, j), 0.5, 1e-12);
+  }
+}
+
+TEST(Gcn, NormalizedAdjacencyIsSymmetric) {
+  Rng rng(4);
+  const int n = 7;
+  la::Mat a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = rng.uniform() < 0.4 ? 1.0 : 0.0;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const la::Mat ahat = nn::normalized_adjacency(a);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) EXPECT_NEAR(ahat(i, j), ahat(j, i), 1e-12);
+  }
+  // Identity graph: A-hat = I.
+  const la::Mat id_hat = nn::normalized_adjacency(la::Mat(n, n));
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(id_hat(i, i), 1.0, 1e-12);
+}
+
+TEST(Gcn, IdentityAdjacencyEqualsSharedFc) {
+  // With A-hat = I the GCN layer must behave exactly like a Linear with
+  // the same weights (the NG-RL ablation).
+  Rng rng(5);
+  nn::GcnLayer gcn("g", 3, 2, rng);
+  la::Mat x{{0.3, -0.2, 1.0}, {0.1, 0.8, -0.5}};
+  const la::Mat eye = la::Mat::identity(2);
+  ag::Tape tape;
+  ag::Var y = gcn.forward(tape, tape.input(x), eye);
+  const la::Mat& w = gcn.parameters()[0]->value;
+  const la::Mat& b = gcn.parameters()[1]->value;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      double expect = b(0, c);
+      for (int k = 0; k < 3; ++k) expect += x(r, k) * w(k, c);
+      EXPECT_NEAR(y.value()(r, c), expect, 1e-12);
+    }
+  }
+}
+
+TEST(Gcn, AggregationMixesNeighbors) {
+  Rng rng(6);
+  nn::GcnLayer gcn("g", 1, 1, rng);
+  la::Mat a{{0.0, 1.0}, {1.0, 0.0}};
+  const la::Mat ahat = nn::normalized_adjacency(a);
+  la::Mat x{{1.0}, {3.0}};
+  ag::Tape tape;
+  ag::Var y = gcn.forward(tape, tape.input(x), ahat);
+  // Both rows aggregate to 0.5*(1+3) = 2 before the affine map -> equal.
+  EXPECT_NEAR(y.value()(0, 0), y.value()(1, 0), 1e-12);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize ||x - target||^2 over a parameter vector via the Module path.
+  struct Quad : nn::Module {
+    nn::Parameter p{"p", la::Mat(1, 4)};
+    std::vector<nn::Parameter*> parameters() override { return {&p}; }
+  } quad;
+  la::Mat target{{1.0, -2.0, 0.5, 3.0}};
+  nn::Adam opt(quad.parameters(), 0.05);
+  for (int it = 0; it < 500; ++it) {
+    quad.zero_grad();
+    ag::Tape tape;
+    ag::Var x = tape.make(quad.p.value, true, nullptr);
+    ag::Node* node = x.node();
+    nn::Parameter* pp = &quad.p;
+    node->pullback = [pp, node] { pp->grad += node->grad; };
+    ag::Var loss = ag::mse_const(x, target);
+    tape.backward(loss);
+    opt.step();
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(quad.p.value(0, c), target(0, c), 1e-3);
+  }
+}
+
+TEST(Serialize, RoundTrip) {
+  Rng rng(7);
+  nn::Linear a("net.layer0", 4, 3, rng);
+  nn::Linear b("net.layer1", 3, 2, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gcnrl_weights_test.bin")
+          .string();
+  std::vector<nn::Parameter*> params;
+  for (auto* p : a.parameters()) params.push_back(p);
+  for (auto* p : b.parameters()) params.push_back(p);
+  nn::save_parameters(path, params);
+
+  Rng rng2(99);
+  nn::Linear a2("net.layer0", 4, 3, rng2);
+  nn::Linear b2("net.layer1", 3, 2, rng2);
+  std::vector<nn::Parameter*> params2;
+  for (auto* p : a2.parameters()) params2.push_back(p);
+  for (auto* p : b2.parameters()) params2.push_back(p);
+  const int copied = nn::load_parameters(path, params2);
+  EXPECT_EQ(copied, 4);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const la::Mat& src = params[i]->value;
+    const la::Mat& dst = params2[i]->value;
+    for (int r = 0; r < src.rows(); ++r) {
+      for (int c = 0; c < src.cols(); ++c) {
+        EXPECT_DOUBLE_EQ(src(r, c), dst(r, c));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, StrictRejectsMissing) {
+  Rng rng(8);
+  nn::Linear a("only.a", 2, 2, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gcnrl_weights_test2.bin")
+          .string();
+  nn::save_parameters(path, a.parameters());
+  nn::Linear b("other.name", 2, 2, rng);
+  EXPECT_THROW(nn::load_parameters(path, b.parameters(), /*strict=*/true),
+               std::runtime_error);
+  EXPECT_EQ(nn::load_parameters(path, b.parameters(), /*strict=*/false), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CopyParametersByName) {
+  Rng rng(9);
+  nn::Linear a("shared", 3, 3, rng);
+  nn::Linear b("shared", 3, 3, rng);
+  const int copied = nn::copy_parameters(a.parameters(), b.parameters());
+  EXPECT_EQ(copied, 2);
+  EXPECT_DOUBLE_EQ(a.parameters()[0]->value(1, 2),
+                   b.parameters()[0]->value(1, 2));
+}

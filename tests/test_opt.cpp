@@ -1,0 +1,216 @@
+// Tests for the black-box optimizer baselines: CMA-ES, GP regression,
+// Bayesian optimization and MACE on closed-form objectives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/bayes_opt.hpp"
+#include "opt/cma_es.hpp"
+#include "opt/mace.hpp"
+#include "opt/random_search.hpp"
+
+namespace opt = gcnrl::opt;
+using gcnrl::Rng;
+
+namespace {
+
+// Sphere: maximum 0 at x*.
+double neg_sphere(const std::vector<double>& x,
+                  const std::vector<double>& target) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - target[i];
+    acc -= d * d;
+  }
+  return acc;
+}
+
+double run_loop(opt::Optimizer& o, int evals,
+                const std::function<double(const std::vector<double>&)>& f) {
+  double best = -1e300;
+  int done = 0;
+  while (done < evals) {
+    const auto xs = o.ask();
+    std::vector<double> ys;
+    for (const auto& x : xs) {
+      ys.push_back(f(x));
+      best = std::max(best, ys.back());
+      if (++done >= evals) break;
+    }
+    o.tell({xs.begin(), xs.begin() + ys.size()}, ys);
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(RandomSearch, StaysInBounds) {
+  opt::RandomSearch rs(6, Rng(1), 4);
+  for (int it = 0; it < 20; ++it) {
+    for (const auto& x : rs.ask()) {
+      ASSERT_EQ(static_cast<int>(x.size()), 6);
+      for (double v : x) {
+        EXPECT_GE(v, -1.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+TEST(CmaEs, ConvergesOnSphere) {
+  const int dim = 8;
+  std::vector<double> target(dim);
+  Rng trng(3);
+  for (auto& t : target) t = trng.uniform(-0.5, 0.5);
+  opt::CmaEs es(dim, Rng(4));
+  const double best = run_loop(
+      es, 600, [&](const std::vector<double>& x) {
+        return neg_sphere(x, target);
+      });
+  EXPECT_GT(best, -1e-3);
+  // The distribution mean should be near the optimum too, not just a
+  // lucky sample.
+  EXPECT_LT(std::fabs(es.mean()[0] - target[0]), 0.1);
+}
+
+TEST(CmaEs, HandlesBoundaryOptimum) {
+  // Optimum at the corner of the box: clipping must not break updates.
+  const int dim = 4;
+  std::vector<double> target(dim, 1.0);
+  opt::CmaEs es(dim, Rng(5));
+  const double best = run_loop(
+      es, 500, [&](const std::vector<double>& x) {
+        return neg_sphere(x, target);
+      });
+  EXPECT_GT(best, -0.05);
+}
+
+TEST(CmaEs, ImprovesOnRosenbrockStyleCoupling) {
+  // Maximize -[(1 - x0)^2 + 5 (x1 - x0^2)^2] — curved valley.
+  opt::CmaEs es(2, Rng(6));
+  const double best = run_loop(es, 800, [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return -(a * a + 5.0 * b * b);
+  });
+  EXPECT_GT(best, -0.05);
+}
+
+TEST(CmaEs, PartialBatchTellAccepted) {
+  opt::CmaEs es(3, Rng(7));
+  auto xs = es.ask();
+  ASSERT_GE(xs.size(), 2u);
+  std::vector<std::vector<double>> partial(xs.begin(), xs.begin() + 2);
+  EXPECT_NO_THROW(es.tell(partial, {0.1, 0.2}));
+  EXPECT_THROW(es.tell({}, {}), std::invalid_argument);
+}
+
+TEST(Gp, InterpolatesTrainingData) {
+  opt::GaussianProcess gp;
+  std::vector<std::vector<double>> x = {{0.0}, {0.5}, {1.0}, {-0.7}};
+  std::vector<double> y = {1.0, 2.0, -1.0, 0.3};
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto p = gp.predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 0.15);
+  }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData) {
+  opt::GaussianProcess gp;
+  std::vector<std::vector<double>> x = {{0.0}, {0.1}, {0.2}};
+  std::vector<double> y = {0.0, 0.1, 0.2};
+  gp.fit(x, y);
+  const auto near = gp.predict({0.1});
+  const auto far = gp.predict({3.0});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(Gp, PredictionTracksSmoothFunction) {
+  opt::GaussianProcess gp;
+  Rng rng(8);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    const double xi = rng.uniform(-1.0, 1.0);
+    x.push_back({xi});
+    y.push_back(std::sin(3.0 * xi));
+  }
+  gp.fit(x, y);
+  double max_err = 0.0;
+  for (double xi = -0.9; xi <= 0.9; xi += 0.1) {
+    max_err = std::max(max_err,
+                       std::fabs(gp.predict({xi}).mean - std::sin(3.0 * xi)));
+  }
+  EXPECT_LT(max_err, 0.15);
+}
+
+TEST(BayesOpt, BeatsRandomOnMultimodal1d) {
+  // f(x) = sin(5x) * (1 - x^2): several local optima in [-1, 1].
+  auto f = [](const std::vector<double>& x) {
+    return std::sin(5.0 * x[0]) * (1.0 - x[0] * x[0]);
+  };
+  opt::BayesOptOptions bopt;
+  bopt.initial_random = 6;
+  opt::BayesOpt bo(1, Rng(9), bopt);
+  const double best_bo = run_loop(bo, 40, f);
+  opt::RandomSearch rs(1, Rng(9));
+  const double best_rs = run_loop(rs, 40, f);
+  EXPECT_GE(best_bo, best_rs - 0.02);
+  EXPECT_GT(best_bo, 0.75);  // global max ~ 0.78 near x ~ 0.28
+}
+
+TEST(BayesOpt, ExpectedImprovementNonNegative) {
+  opt::BayesOptOptions bopt;
+  bopt.initial_random = 3;
+  opt::BayesOpt bo(2, Rng(10), bopt);
+  std::vector<std::vector<double>> xs = {{0.0, 0.0}, {0.5, 0.5}, {-0.5, 0.2}};
+  bo.tell(xs, {0.1, 0.3, -0.2});
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GE(bo.expected_improvement(
+                  {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)}),
+              0.0);
+  }
+}
+
+TEST(Mace, ProposesRequestedBatch) {
+  opt::MaceOptions mopt;
+  mopt.initial_random = 4;
+  mopt.batch = 3;
+  opt::Mace mace(3, Rng(12), mopt);
+  // Warm-up asks.
+  auto xs = mace.ask();
+  std::vector<double> ys(xs.size(), 0.0);
+  mace.tell(xs, ys);
+  xs = mace.ask();
+  std::vector<double> ys2;
+  for (const auto& x : xs) ys2.push_back(-x[0] * x[0]);
+  mace.tell(xs, ys2);
+  const auto batch = mace.ask();
+  EXPECT_EQ(static_cast<int>(batch.size()), 3);
+  for (const auto& x : batch) {
+    for (double v : x) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(Mace, OptimizesQuadratic) {
+  std::vector<double> target = {0.3, -0.4};
+  opt::MaceOptions mopt;
+  mopt.initial_random = 8;
+  opt::Mace mace(2, Rng(13), mopt);
+  const double best = run_loop(mace, 60, [&](const std::vector<double>& x) {
+    return neg_sphere(x, target);
+  });
+  EXPECT_GT(best, -0.05);
+}
+
+TEST(NormalHelpers, PdfCdfSanity) {
+  EXPECT_NEAR(opt::norm_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(opt::norm_cdf(10.0), 1.0, 1e-9);
+  EXPECT_NEAR(opt::norm_cdf(-10.0), 0.0, 1e-9);
+  EXPECT_NEAR(opt::norm_pdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+}
