@@ -33,8 +33,8 @@ int main() {
       {"GCN-RL Transfer", {"GCN-RL Transfer"}},
   };
 
-  for (const Direction dir : {Direction{"Two-TIA", "Three-TIA"},
-                              Direction{"Three-TIA", "Two-TIA"}}) {
+  for (const Direction& dir : {Direction{"Two-TIA", "Three-TIA"},
+                               Direction{"Three-TIA", "Two-TIA"}}) {
     bench::EnvFactory src_factory(dir.src, tech, env::IndexMode::Scalar,
                                   cfg.calib_samples, rng);
     bench::EnvFactory dst_factory(dir.dst, tech, env::IndexMode::Scalar,

@@ -1,0 +1,309 @@
+// Unit tests for the common substrate: environment-variable configuration
+// (envcfg) and the deterministic xoshiro256++ RNG.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/envcfg.hpp"
+#include "common/rng.hpp"
+
+using gcnrl::BenchConfig;
+using gcnrl::Rng;
+
+namespace {
+
+// RAII helper: sets an environment variable for one test and restores the
+// previous value (or unsets) on destruction, so suites stay order-independent.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// ---------------------------------------------------------------------------
+// envcfg: env_int
+// ---------------------------------------------------------------------------
+
+TEST(EnvInt, ReturnsFallbackWhenUnset) {
+  ScopedEnv e("GCNRL_TEST_UNSET_VAR", nullptr);
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_UNSET_VAR", 42), 42);
+}
+
+TEST(EnvInt, ParsesDecimalValue) {
+  ScopedEnv e("GCNRL_TEST_INT", "123");
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 0), 123);
+}
+
+TEST(EnvInt, ParsesNegativeValue) {
+  ScopedEnv e("GCNRL_TEST_INT", "-7");
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 0), -7);
+}
+
+TEST(EnvInt, EmptyStringFallsBack) {
+  ScopedEnv e("GCNRL_TEST_INT", "");
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 9), 9);
+}
+
+TEST(EnvInt, MalformedValueFallsBack) {
+  ScopedEnv e("GCNRL_TEST_INT", "not-a-number");
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 17), 17);
+}
+
+TEST(EnvInt, OverflowFallsBack) {
+  ScopedEnv e("GCNRL_TEST_INT", "99999999999999999999");
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 5), 5);
+}
+
+// ---------------------------------------------------------------------------
+// envcfg: env_flag
+// ---------------------------------------------------------------------------
+
+TEST(EnvFlag, UnsetIsFalse) {
+  ScopedEnv e("GCNRL_TEST_FLAG", nullptr);
+  EXPECT_FALSE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
+}
+
+TEST(EnvFlag, ZeroIsFalse) {
+  ScopedEnv e("GCNRL_TEST_FLAG", "0");
+  EXPECT_FALSE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
+}
+
+TEST(EnvFlag, EmptyIsFalse) {
+  ScopedEnv e("GCNRL_TEST_FLAG", "");
+  EXPECT_FALSE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
+}
+
+TEST(EnvFlag, OneIsTrue) {
+  ScopedEnv e("GCNRL_TEST_FLAG", "1");
+  EXPECT_TRUE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
+}
+
+TEST(EnvFlag, ArbitraryTextIsTrue) {
+  ScopedEnv e("GCNRL_TEST_FLAG", "yes");
+  EXPECT_TRUE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
+}
+
+// ---------------------------------------------------------------------------
+// envcfg: bench_config
+// ---------------------------------------------------------------------------
+
+TEST(BenchConfigTest, DefaultsWhenNothingSet) {
+  ScopedEnv a("GCNRL_FULL", nullptr);
+  ScopedEnv b("GCNRL_STEPS", nullptr);
+  ScopedEnv c("GCNRL_SEEDS", nullptr);
+  ScopedEnv d("GCNRL_CALIB", nullptr);
+  ScopedEnv e("GCNRL_WARMUP", nullptr);
+  ScopedEnv f("GCNRL_TRANSFER_STEPS", nullptr);
+  ScopedEnv g("GCNRL_TRANSFER_WARMUP", nullptr);
+
+  const BenchConfig cfg = gcnrl::bench_config();
+  EXPECT_FALSE(cfg.full);
+  EXPECT_EQ(cfg.steps, 300);
+  EXPECT_EQ(cfg.warmup, 100);
+  EXPECT_EQ(cfg.seeds, 2);
+  EXPECT_EQ(cfg.calib_samples, 300);
+  EXPECT_LT(cfg.warmup, cfg.steps);
+  EXPECT_LT(cfg.transfer_warmup, cfg.transfer_steps);
+}
+
+TEST(BenchConfigTest, FullProtocolSelectsPaperScale) {
+  ScopedEnv a("GCNRL_FULL", "1");
+  ScopedEnv b("GCNRL_STEPS", nullptr);
+  ScopedEnv c("GCNRL_SEEDS", nullptr);
+  ScopedEnv d("GCNRL_CALIB", nullptr);
+  ScopedEnv e("GCNRL_WARMUP", nullptr);
+  ScopedEnv f("GCNRL_TRANSFER_STEPS", nullptr);
+  ScopedEnv g("GCNRL_TRANSFER_WARMUP", nullptr);
+
+  const BenchConfig cfg = gcnrl::bench_config();
+  EXPECT_TRUE(cfg.full);
+  EXPECT_EQ(cfg.steps, 10000);
+  EXPECT_EQ(cfg.seeds, 3);
+  EXPECT_EQ(cfg.calib_samples, 5000);
+}
+
+TEST(BenchConfigTest, ExplicitOverridesWinOverFull) {
+  ScopedEnv a("GCNRL_FULL", "1");
+  ScopedEnv b("GCNRL_STEPS", "77");
+  ScopedEnv c("GCNRL_SEEDS", "1");
+  ScopedEnv d("GCNRL_CALIB", "10");
+  ScopedEnv e("GCNRL_WARMUP", nullptr);
+  ScopedEnv f("GCNRL_TRANSFER_STEPS", nullptr);
+  ScopedEnv g("GCNRL_TRANSFER_WARMUP", nullptr);
+
+  const BenchConfig cfg = gcnrl::bench_config();
+  EXPECT_EQ(cfg.steps, 77);
+  EXPECT_EQ(cfg.seeds, 1);
+  EXPECT_EQ(cfg.calib_samples, 10);
+  // warmup (500 from the full protocol) exceeds 77 steps, so it must be
+  // clamped below the step budget.
+  EXPECT_LT(cfg.warmup, cfg.steps);
+}
+
+TEST(BenchConfigTest, WarmupClampedBelowSteps) {
+  ScopedEnv a("GCNRL_FULL", nullptr);
+  ScopedEnv b("GCNRL_STEPS", "30");
+  ScopedEnv e("GCNRL_WARMUP", "100");
+  ScopedEnv f("GCNRL_TRANSFER_STEPS", "9");
+  ScopedEnv g("GCNRL_TRANSFER_WARMUP", "50");
+
+  const BenchConfig cfg = gcnrl::bench_config();
+  EXPECT_EQ(cfg.steps, 30);
+  EXPECT_EQ(cfg.warmup, 10);
+  EXPECT_EQ(cfg.transfer_warmup, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Rng: determinism
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "diverged at draw " << i;
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  // Chance of even one 64-bit collision is negligible.
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, SameSeedSameDoubles) {
+  Rng a(777), b(777);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.uniform(), b.uniform());
+    ASSERT_DOUBLE_EQ(a.normal(), b.normal());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rng: distribution ranges
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutEscape) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = rng.uniform_index(7);
+    ASSERT_LT(k, 7u);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit in 2000 draws
+}
+
+TEST(RngTest, TruncatedNormalStaysInBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.truncated_normal(0.0, 1.0, -0.5, 0.5);
+    ASSERT_GE(x, -0.5);
+    ASSERT_LE(x, 0.5);
+  }
+}
+
+TEST(RngTest, NormalMeanAndSpreadRoughlyCorrect) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Rng: stream independence via split()
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng p1(42), p2(42);
+  Rng c1 = p1.split(), c2 = p2.split();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(c1.next(), c2.next());
+  }
+}
+
+TEST(RngTest, SuccessiveSplitsDiffer) {
+  Rng parent(7);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+}  // namespace
