@@ -6,34 +6,14 @@ namespace gcnrl::bench {
 
 rl::RunResult run_optimizer_timed(env::SizingEnv& env, opt::Optimizer& opt,
                                   int steps, double seconds) {
-  using clock = std::chrono::steady_clock;
-  const auto t0 = clock::now();
-  rl::RunResult out;
-  int done = 0;
-  while (done < steps) {
-    if (seconds > 0.0) {
-      const double elapsed =
-          std::chrono::duration<double>(clock::now() - t0).count();
-      if (elapsed > seconds) break;
-    }
-    const auto xs = opt.ask();
-    std::vector<double> ys;
-    ys.reserve(xs.size());
-    for (const auto& x : xs) {
-      const env::EvalResult r = env.step_flat(x);
-      ys.push_back(r.fom);
-      if (r.fom > out.best_fom) {
-        out.best_actions = env.bench().space.unflatten(x);
-        out.best_metrics = r.metrics;
-      }
-      out.record(r.fom);
-      if (++done >= steps) break;
-    }
-    std::vector<std::vector<double>> xs_done(xs.begin(),
-                                             xs.begin() + ys.size());
-    opt.tell(xs_done, ys);
-  }
-  return out;
+  return rl::run_optimizer(env, opt, steps, seconds);
+}
+
+std::string eval_banner() {
+  const env::EvalServiceConfig cfg = env::eval_config_from_env();
+  return "eval engine: threads=" + std::to_string(cfg.threads) +
+         (cfg.threads > 1 ? " (thread pool)" : " (serial)") +
+         ", cache=" + std::to_string(cfg.cache_capacity);
 }
 
 MethodRun run_method(const std::string& method, const EnvFactory& factory,

@@ -59,9 +59,17 @@ class EnvFactory {
   env::FomSpec fom_;
 };
 
-// Timed wrapper around run_optimizer: stops early once `seconds` elapse.
+// Thin forwarder to rl::run_optimizer's deadline overload: stops early
+// once `seconds` elapse (checked between batches). Kept as a named entry
+// point because "the timed BO/MACE budget" is a concept of the paper's
+// protocol, not of the RL layer.
 rl::RunResult run_optimizer_timed(env::SizingEnv& env, opt::Optimizer& opt,
                                   int steps, double seconds);
+
+// One-line description of the evaluation engine configuration (thread
+// count + cache capacity from GCNRL_EVAL_THREADS / GCNRL_EVAL_CACHE),
+// printed by every harness so logged tables are self-describing.
+std::string eval_banner();
 
 struct MethodRun {
   rl::RunResult result;

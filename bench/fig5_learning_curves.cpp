@@ -14,8 +14,8 @@ int main() {
   Rng rng(2024);
   const int seeds = std::max(1, cfg.seeds - 1);  // curves: 1 fewer seed
 
-  std::printf("Fig 5: learning curves (steps=%d, seeds=%d)\n\n", cfg.steps,
-              seeds);
+  std::printf("Fig 5: learning curves (steps=%d, seeds=%d)\n%s\n\n",
+              cfg.steps, seeds, bench::eval_banner().c_str());
 
   for (const auto& circuit_name : circuits::benchmark_names()) {
     bench::EnvFactory factory(circuit_name, tech, env::IndexMode::OneHot,

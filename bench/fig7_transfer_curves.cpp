@@ -13,8 +13,8 @@ int main() {
   Rng rng(2024);
   const auto tech180 = circuit::make_technology("180nm");
 
-  std::printf("Fig 7: Three-TIA transfer curves (pretrain=%d, budget=%d)\n\n",
-              cfg.steps, cfg.transfer_steps);
+  std::printf("Fig 7: Three-TIA transfer curves (pretrain=%d, budget=%d)\n%s\n\n",
+              cfg.steps, cfg.transfer_steps, bench::eval_banner().c_str());
 
   bench::EnvFactory factory180("Three-TIA", tech180, env::IndexMode::OneHot,
                                cfg.calib_samples, rng);

@@ -12,8 +12,8 @@ int main() {
   Rng rng(2024);
   const auto tech = circuit::make_technology("180nm");
 
-  std::printf("Fig 8: topology-transfer curves (pretrain=%d, budget=%d)\n\n",
-              cfg.steps, cfg.transfer_steps);
+  std::printf("Fig 8: topology-transfer curves (pretrain=%d, budget=%d)\n%s\n\n",
+              cfg.steps, cfg.transfer_steps, bench::eval_banner().c_str());
 
   for (const auto& [src, dst] :
        std::vector<std::pair<std::string, std::string>>{

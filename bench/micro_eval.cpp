@@ -1,0 +1,67 @@
+// google-benchmark for the EvalService: evaluations/sec on the two_tia
+// benchmark circuit at 1/2/4/8 worker threads, plus the cache-hit fast
+// path. This is the scaling number behind GCNRL_EVAL_THREADS — on an
+// N-core machine the thread-pool rows should approach N x the serial row
+// (the sims are independent and share no mutable state).
+//
+// Counters: items_per_second is evaluations/sec; use
+// --benchmark_counters_tabular=true for a compact table.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "circuits/benchmark_circuits.hpp"
+#include "common/rng.hpp"
+#include "env/eval_service.hpp"
+#include "env/sizing_env.hpp"
+
+using namespace gcnrl;
+
+namespace {
+
+const auto kTech = circuit::make_technology("180nm");
+
+// Distinct random designs through the full refine -> simulate -> FoM
+// pipeline, cache disabled: pure simulation throughput vs thread count.
+void BM_EvalBatch_TwoTia(benchmark::State& state) {
+  env::EvalServiceConfig cfg;
+  cfg.threads = static_cast<int>(state.range(0));
+  cfg.cache_capacity = 0;
+  env::SizingEnv env(circuits::make_two_tia(kTech), env::IndexMode::OneHot,
+                     cfg);
+  constexpr int kBatch = 32;
+  Rng rng(7);
+  std::vector<la::Mat> batch;
+  batch.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) batch.push_back(env.random_actions(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.step_batch(batch).front().fom);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EvalBatch_TwoTia)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The same batch revisited: after the first iteration every design is a
+// cache hit, so this bounds the per-evaluation engine overhead (refine +
+// key + LRU + FoM recompute, no simulation).
+void BM_EvalBatch_TwoTia_CacheHit(benchmark::State& state) {
+  env::EvalServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 1024;
+  env::SizingEnv env(circuits::make_two_tia(kTech), env::IndexMode::OneHot,
+                     cfg);
+  constexpr int kBatch = 32;
+  Rng rng(7);
+  std::vector<la::Mat> batch;
+  batch.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) batch.push_back(env.random_actions(rng));
+  benchmark::DoNotOptimize(env.step_batch(batch).front().fom);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.step_batch(batch).front().fom);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EvalBatch_TwoTia_CacheHit)->Unit(benchmark::kMillisecond);
+
+}  // namespace

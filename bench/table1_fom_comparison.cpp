@@ -40,8 +40,10 @@ int main() {
   std::printf(
       "Table I: FoM comparison (steps=%d, warmup=%d, seeds=%d, calib=%d)\n"
       "Paper values in [brackets]. FoM scale: ours saturates each metric\n"
-      "in [0,1] over the calibrated range; shapes, not absolutes, compare.\n\n",
-      cfg.steps, cfg.warmup, cfg.seeds, cfg.calib_samples);
+      "in [0,1] over the calibrated range; shapes, not absolutes, compare.\n"
+      "%s\n\n",
+      cfg.steps, cfg.warmup, cfg.seeds, cfg.calib_samples,
+      bench::eval_banner().c_str());
 
   TextTable table({"Method", "Two-TIA", "Two-Volt", "Three-TIA", "LDO"});
   std::map<std::string, std::map<std::string, std::string>> cells;

@@ -36,8 +36,8 @@ int main() {
   std::printf(
       "Table II: Two-TIA metric breakdown (steps=%d, seeds=%d)\n"
       "Units: BW GHz | Gain x100 ohm | Power mW | Noise pA/rtHz | Peaking dB "
-      "| GBW THz*ohm\n\n",
-      cfg.steps, cfg.seeds);
+      "| GBW THz*ohm\n%s\n\n",
+      cfg.steps, cfg.seeds, bench::eval_banner().c_str());
 
   bench::EnvFactory factory("Two-TIA", tech, env::IndexMode::OneHot,
                             cfg.calib_samples, rng);

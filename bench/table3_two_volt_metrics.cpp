@@ -34,8 +34,8 @@ int main() {
   std::printf(
       "Table III: Two-Volt metric breakdown (steps=%d)\n"
       "Units: BW MHz | CPM deg | DPM deg | Power x1e-4 W | Noise nV/rtHz | "
-      "Gain x1000 | GBW THz\n\n",
-      cfg.steps);
+      "Gain x1000 | GBW THz\n%s\n\n",
+      cfg.steps, bench::eval_banner().c_str());
 
   bench::EnvFactory factory("Two-Volt", tech, env::IndexMode::OneHot,
                             cfg.calib_samples, rng);

@@ -18,8 +18,10 @@ int main() {
 
   std::printf(
       "Table IV: technology transfer 180nm -> {250,130,65,45}nm\n"
-      "(pretrain=%d steps, budget=%d steps with %d warm-up, seeds=%d)\n\n",
-      cfg.steps, cfg.transfer_steps, cfg.transfer_warmup, cfg.seeds);
+      "(pretrain=%d steps, budget=%d steps with %d warm-up, seeds=%d)\n"
+      "%s\n\n",
+      cfg.steps, cfg.transfer_steps, cfg.transfer_warmup, cfg.seeds,
+      bench::eval_banner().c_str());
 
   TextTable table({"Circuit / mode", "250nm", "130nm", "65nm", "45nm"});
 

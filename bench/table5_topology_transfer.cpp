@@ -23,8 +23,9 @@ int main() {
   const auto tech = circuit::make_technology("180nm");
 
   std::printf(
-      "Table V: topology transfer (pretrain=%d, budget=%d steps, seeds=%d)\n\n",
-      cfg.steps, cfg.transfer_steps, cfg.seeds);
+      "Table V: topology transfer (pretrain=%d, budget=%d steps, seeds=%d)\n"
+      "%s\n\n",
+      cfg.steps, cfg.transfer_steps, cfg.seeds, bench::eval_banner().c_str());
 
   TextTable table({"Mode", "Two-TIA -> Three-TIA", "Three-TIA -> Two-TIA"});
   std::map<std::string, std::vector<std::string>> rows = {

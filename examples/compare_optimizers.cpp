@@ -30,38 +30,44 @@ int main(int argc, char** argv) {
     return env::SizingEnv(std::move(bc));
   };
 
-  TextTable table({"Method", "Best FoM", "Evals"});
+  // Evals counts requested evaluations; Sims the simulator runs actually
+  // executed — the difference was served by the EvalService result cache.
+  TextTable table({"Method", "Best FoM", "Evals", "Sims"});
   {
     auto e = fresh_env();
     const auto h = e.evaluate_params(e.bench().human_expert);
-    table.add_row({"Human", TextTable::num(h.fom, 3), "-"});
+    table.add_row({"Human", TextTable::num(h.fom, 3), "-", "-"});
   }
   {
     auto e = fresh_env();
     const auto r = rl::run_random(e, steps, Rng(2));
     table.add_row({"Random", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals())});
+                   std::to_string(e.num_evals()),
+                   std::to_string(e.num_sims())});
   }
   {
     auto e = fresh_env();
     opt::CmaEs es(e.flat_dim(), Rng(3));
     const auto r = rl::run_optimizer(e, es, steps);
     table.add_row({"ES (CMA-ES)", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals())});
+                   std::to_string(e.num_evals()),
+                   std::to_string(e.num_sims())});
   }
   {
     auto e = fresh_env();
     opt::BayesOpt bo(e.flat_dim(), Rng(4));
     const auto r = rl::run_optimizer(e, bo, std::min(steps, 150));
     table.add_row({"BO", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals())});
+                   std::to_string(e.num_evals()),
+                   std::to_string(e.num_sims())});
   }
   {
     auto e = fresh_env();
     opt::Mace mace(e.flat_dim(), Rng(5));
     const auto r = rl::run_optimizer(e, mace, std::min(steps, 150));
     table.add_row({"MACE", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals())});
+                   std::to_string(e.num_evals()),
+                   std::to_string(e.num_sims())});
   }
   for (const bool use_gcn : {false, true}) {
     auto e = fresh_env();
@@ -72,11 +78,13 @@ int main(int argc, char** argv) {
     const auto r = rl::run_ddpg(e, agent, steps);
     table.add_row({use_gcn ? "GCN-RL" : "NG-RL",
                    TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals())});
+                   std::to_string(e.num_evals()),
+                   std::to_string(e.num_sims())});
   }
 
-  std::printf("%s @ 180nm, %d evaluations (FoM max %.1f)\n\n", name.c_str(),
-              steps, fom.max_fom());
+  const auto ecfg = env::eval_config_from_env();
+  std::printf("%s @ 180nm, %d evaluations, eval threads=%d (FoM max %.1f)\n\n",
+              name.c_str(), steps, ecfg.threads, fom.max_fom());
   table.print();
   return 0;
 }

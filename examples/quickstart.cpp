@@ -17,11 +17,14 @@ int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 300;
   const std::string node = argc > 2 ? argv[2] : "180nm";
 
-  // 1-2. Circuit -> environment -> calibration.
+  // 1-2. Circuit -> environment -> calibration. The env's EvalService
+  // picks up GCNRL_EVAL_THREADS (default: serial) and batches the
+  // calibration sweep across its workers.
   const auto tech = circuit::make_technology(node);
   env::SizingEnv env(circuits::make_two_tia(tech));
   Rng rng(42);
-  std::printf("Calibrating FoM normalizers (random sampling)...\n");
+  std::printf("Calibrating FoM normalizers (random sampling, %d threads)...\n",
+              env.eval_threads());
   env.calibrate(200, rng);
 
   // Reference points.
@@ -35,11 +38,19 @@ int main(int argc, char** argv) {
   rl::DdpgAgent agent(env.state(), env.adjacency(), env.kinds(), cfg,
                       rng.split());
   std::printf("Training GCN-RL for %d episodes...\n", steps);
+  // Counter snapshot: num_evals/num_sims/cache_hits are EvalService
+  // lifetime totals (calibration included), so report training-run deltas.
+  const long evals0 = env.num_evals();
+  const long sims0 = env.num_sims();
+  const long hits0 = env.cache_hits();
   const auto result = rl::run_ddpg(env, agent, steps);
 
   // 4. Report.
   std::printf("\nBest FoM after %d episodes: %.3f\n", steps,
               result.best_fom);
+  std::printf("Evaluations: %ld requested, %ld simulated, %ld cache hits\n",
+              env.num_evals() - evals0, env.num_sims() - sims0,
+              env.cache_hits() - hits0);
   std::printf("Best design metrics:\n");
   for (const auto& [k, v] : result.best_metrics) {
     std::printf("  %-8s = %.6g\n", k.c_str(), v);

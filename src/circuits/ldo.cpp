@@ -99,6 +99,11 @@ env::BenchmarkCircuit make_ldo(const Technology& tech) {
   // offenders before metrics are computed.
   bc.fom = fom;
 
+  // Concurrency audit (EvalService contract on BenchmarkCircuit::evaluate):
+  // every capture is an immutable value — node indices and a Technology
+  // copy, never a reference into the builder — and all Simulators and
+  // derived netlists are function-local, so concurrent invocations share
+  // no mutable state.
   const Technology tech_copy = tech;
   bc.evaluate = [vout, tech_copy](const Netlist& sized) {
     env::MetricMap m;

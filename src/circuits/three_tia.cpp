@@ -95,6 +95,10 @@ env::BenchmarkCircuit make_three_tia(const Technology& tech) {
   // dead designs from free-riding on the power metric.
   bc.fom = fom;
 
+  // Concurrency audit (EvalService contract on BenchmarkCircuit::evaluate):
+  // every capture is an immutable value — node indices and a Technology
+  // copy, never a reference into the builder — and the Simulator is
+  // function-local, so concurrent invocations share no mutable state.
   const Technology tech_copy = tech;
   bc.evaluate = [vo1, vo2, tech_copy](const Netlist& sized) {
     sim::Simulator s(sized, tech_copy);

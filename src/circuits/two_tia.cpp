@@ -76,6 +76,10 @@ env::BenchmarkCircuit make_two_tia(const Technology& tech) {
   bc.fom = fom;
 
   // --- measurement plan --------------------------------------------------
+  // Concurrency audit (EvalService contract on BenchmarkCircuit::evaluate):
+  // every capture is an immutable value — node indices and a Technology
+  // copy, never a reference into the builder — and the Simulator is
+  // function-local, so concurrent invocations share no mutable state.
   const Technology tech_copy = tech;
   bc.evaluate = [vout, in, tech_copy](const Netlist& sized) {
     sim::Simulator s(sized, tech_copy);

@@ -145,8 +145,13 @@ env::BenchmarkCircuit make_two_volt(const Technology& tech) {
   // PM = 180, a flat response reports BW = the last swept frequency).
   bc.fom = fom;
 
+  // Concurrency audit (EvalService contract on BenchmarkCircuit::evaluate):
+  // every capture is an immutable value — node indices and a Technology
+  // copy, never a reference into the builder — and all Simulators and
+  // derived netlists are function-local, so concurrent invocations share
+  // no mutable state. Keep the capture list explicit and by-value.
   const Technology tech_copy = tech;
-  bc.evaluate = [=](const Netlist& sized) {
+  bc.evaluate = [ga, gb, voa, vob, vcmfb, tech_copy](const Netlist& sized) {
     env::MetricMap m;
     const auto freqs = sim::logspace(1e2, 1e10, 81);
 

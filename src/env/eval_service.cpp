@@ -1,0 +1,293 @@
+#include "env/eval_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/envcfg.hpp"
+#include "sim/mna.hpp"
+
+namespace gcnrl::env {
+
+EvalServiceConfig eval_config_from_env() {
+  EvalServiceConfig cfg;
+  cfg.threads = std::clamp(env_int("GCNRL_EVAL_THREADS", cfg.threads), 1, 256);
+  cfg.cache_capacity = static_cast<std::size_t>(std::max(
+      0, env_int("GCNRL_EVAL_CACHE",
+                 static_cast<int>(cfg.cache_capacity))));
+  return cfg;
+}
+
+// --- EvalCache -----------------------------------------------------------
+
+std::size_t EvalCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the byte representation. Keys hold quantized parameter
+  // values, so equal designs are bit-identical doubles and hash equal.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const double d : k) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+bool EvalCache::KeyEqual::operator()(const Key& a, const Key& b) const {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+const CachedEval* EvalCache::find(const Key& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  return &it->second->second;
+}
+
+void EvalCache::insert(const Key& key, CachedEval value) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  map_.emplace(key, lru_.begin());
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void EvalCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+// --- backends ------------------------------------------------------------
+
+namespace {
+
+class SerialBackend final : public EvalBackend {
+ public:
+  void run(std::span<const std::function<void()>> jobs) override {
+    for (const auto& job : jobs) job();
+  }
+  [[nodiscard]] int threads() const override { return 1; }
+};
+
+// N persistent workers draining a per-batch job index. run() blocks until
+// every job of the batch has completed.
+class ThreadPoolBackend final : public EvalBackend {
+ public:
+  explicit ThreadPoolBackend(int threads) {
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPoolBackend() override {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void run(std::span<const std::function<void()>> jobs) override {
+    if (jobs.empty()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    jobs_ = jobs;
+    next_ = 0;
+    remaining_ = jobs.size();
+    cv_work_.notify_all();
+    cv_done_.wait(lock, [this] { return remaining_ == 0; });
+    jobs_ = {};
+  }
+
+  [[nodiscard]] int threads() const override {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_work_.wait(lock, [this] { return stop_ || next_ < jobs_.size(); });
+      if (stop_) return;
+      const std::size_t idx = next_++;
+      lock.unlock();
+      jobs_[idx]();  // jobs trap their own exceptions (see eval_batch)
+      lock.lock();
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::span<const std::function<void()>> jobs_;
+  std::size_t next_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+// Cache key: the quantized flattened design vector. Matched components and
+// unused action dims are already folded away by refine(), so any two raw
+// action matrices landing on the same legal design produce the same key.
+EvalCache::Key key_of(const circuit::DesignSpace& space,
+                      const circuit::DesignParams& p) {
+  EvalCache::Key key;
+  key.reserve(static_cast<std::size_t>(space.flat_dim()));
+  for (int i = 0; i < space.num_components(); ++i) {
+    for (int d = 0; d < space.comp(i).nparams(); ++d) {
+      key.push_back(p.v[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]);
+    }
+  }
+  return key;
+}
+
+// FoM layer applied on top of a (possibly cached) simulation outcome, so
+// recalibrating the spec never serves stale FoMs from the cache.
+void apply_fom(const FomSpec& fom, const CachedEval& sim, EvalResult& out) {
+  out.sim_ok = sim.sim_ok;
+  out.metrics = sim.metrics;
+  if (!sim.sim_ok) {
+    out.fom = fom.sim_fail_fom;
+    out.spec_ok = false;
+    return;
+  }
+  out.spec_ok = fom.spec_ok(sim.metrics);
+  out.fom = fom.fom(sim.metrics);
+}
+
+}  // namespace
+
+// --- EvalService ---------------------------------------------------------
+
+EvalService::EvalService(EvalServiceConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity) {
+  if (cfg_.threads > 1) {
+    backend_ = std::make_unique<ThreadPoolBackend>(cfg_.threads);
+  } else {
+    backend_ = std::make_unique<SerialBackend>();
+  }
+}
+
+EvalService::~EvalService() = default;
+
+int EvalService::threads() const { return backend_->threads(); }
+
+std::vector<EvalResult> EvalService::eval_batch(
+    const BenchmarkCircuit& bc, std::span<const la::Mat> actions) {
+  const std::size_t n = actions.size();
+  std::vector<EvalResult> results(n);
+  requested_ += static_cast<long>(n);
+
+  // Submission pass (sequential, submission order): refine, look up the
+  // cache, dedupe repeats within the batch, and schedule fresh designs.
+  struct Slot {
+    CachedEval sim;                 // filled by the job
+    std::exception_ptr unexpected;  // non-SimError escape hatch
+  };
+  std::vector<EvalCache::Key> keys(n);
+  std::vector<long> job_of(n, -1);  // job index evaluating item i
+  std::vector<bool> first_of_job(n, false);
+  std::unordered_map<EvalCache::Key, long, EvalCache::KeyHash,
+                     EvalCache::KeyEqual>
+      scheduled;
+  std::vector<std::function<void()>> jobs;
+  std::vector<Slot> slots;
+  slots.reserve(n);
+  std::size_t num_jobs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    results[i].params = bc.space.refine(actions[i]);
+    keys[i] = key_of(bc.space, results[i].params);
+    if (const CachedEval* hit = cache_.find(keys[i])) {
+      ++cache_hits_;
+      results[i].cached = true;
+      apply_fom(bc.fom, *hit, results[i]);
+      continue;
+    }
+    // In-batch dedupe only runs when caching is on: at capacity 0 every
+    // requested evaluation must simulate ("0 disables caching"), matching
+    // what the serial engine would do with no cache to hit.
+    if (cache_.capacity() > 0) {
+      if (const auto dup = scheduled.find(keys[i]); dup != scheduled.end()) {
+        // Same legal design earlier in this batch: share its simulation
+        // (the serial engine would have hit the entry the first occurrence
+        // inserts at commit time).
+        ++cache_hits_;
+        results[i].cached = true;
+        job_of[i] = dup->second;
+        continue;
+      }
+    }
+    job_of[i] = static_cast<long>(num_jobs);
+    first_of_job[i] = true;
+    if (cache_.capacity() > 0) scheduled.emplace(keys[i], job_of[i]);
+    slots.emplace_back();
+    ++num_jobs;
+    ++sims_;
+  }
+  // Jobs are pure functions of (netlist, params): each copies the netlist,
+  // applies its parameters, and runs the measurement closure. SimError is
+  // part of the result; anything else is rethrown after the batch.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!first_of_job[i]) continue;
+    Slot& slot = slots[static_cast<std::size_t>(job_of[i])];
+    const circuit::DesignParams& params = results[i].params;
+    jobs.emplace_back([&bc, &params, &slot] {
+      try {
+        circuit::Netlist sized = bc.netlist;
+        bc.space.apply(sized, params);
+        slot.sim.metrics = bc.evaluate(sized);
+        slot.sim.sim_ok = true;
+      } catch (const sim::SimError&) {
+        slot.sim.sim_ok = false;
+        slot.sim.metrics.clear();
+      } catch (...) {
+        slot.unexpected = std::current_exception();
+      }
+    });
+  }
+
+  backend_->run(jobs);
+
+  // Commit pass (sequential, submission order): surface unexpected errors,
+  // fill fresh/deduped results, and insert cache entries deterministically.
+  for (const Slot& slot : slots) {
+    if (slot.unexpected) std::rethrow_exception(slot.unexpected);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (job_of[i] < 0) continue;  // cache hit, already filled
+    const Slot& slot = slots[static_cast<std::size_t>(job_of[i])];
+    apply_fom(bc.fom, slot.sim, results[i]);
+    if (first_of_job[i]) {
+      cache_.insert(keys[i], slot.sim);
+    } else {
+      cache_.find(keys[i]);  // LRU touch, mirroring the as-if-serial order
+    }
+  }
+  return results;
+}
+
+EvalResult EvalService::eval_one(const BenchmarkCircuit& bc,
+                                 const la::Mat& actions) {
+  return eval_batch(bc, std::span<const la::Mat>(&actions, 1)).front();
+}
+
+}  // namespace gcnrl::env

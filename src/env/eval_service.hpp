@@ -1,0 +1,129 @@
+// EvalService: the batch-evaluation engine behind SizingEnv.
+//
+// The paper's cost model is "number of simulations" (Figs. 5/7/8), yet the
+// black-box baselines already propose whole populations per iteration
+// (CMA-ES lambda, MACE's candidate pool) and random search knows its entire
+// schedule upfront. The service exploits both structures:
+//
+//   * pluggable backends — Serial (in-order on the calling thread) and
+//     ThreadPool (N persistent workers, each evaluating an independent
+//     sized-netlist copy through its own Simulator instances);
+//   * a deterministic LRU result cache keyed on the *quantized* flattened
+//     design vector: two raw action vectors that refine onto the same legal
+//     grid point share one simulation. Late CMA-ES/MACE populations and
+//     snapped-grid random search revisit legal designs constantly.
+//
+// Determinism contract: results are committed in submission order, jobs are
+// pure functions of the refined parameters, and all cache bookkeeping
+// (lookup, in-batch dedupe, insertion, LRU touches) happens sequentially on
+// the calling thread. Hence eval_batch returns bit-identical results — and
+// leaves bit-identical cache state — for every backend and thread count;
+// only wall-clock changes.
+//
+// A service instance is bound to one design space for its lifetime: cache
+// keys are refined parameter vectors and carry no circuit identity. The FoM
+// spec, by contrast, may be recalibrated at any time — the cache stores raw
+// metrics and the FoM is recomputed from the current spec on every hit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "env/sizing_env.hpp"
+
+namespace gcnrl::env {
+
+// What a simulation produces, independent of the (recalibratable) FoM spec.
+struct CachedEval {
+  bool sim_ok = false;
+  MetricMap metrics;
+};
+
+// Deterministic LRU cache: quantized design vector -> CachedEval.
+// Not thread-safe by design — EvalService only touches it from the
+// submitting thread, which is what keeps eviction order reproducible.
+class EvalCache {
+ public:
+  using Key = std::vector<double>;
+
+  // Hash and equality both work on the bit representation, keeping the
+  // unordered_map invariant (equal keys hash equal) even for NaN keys — a
+  // diverged agent can emit NaN actions, and NaN != NaN under operator==
+  // would otherwise grow the map unboundedly and dangle on eviction.
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct KeyEqual {
+    bool operator()(const Key& a, const Key& b) const;
+  };
+
+  explicit EvalCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the cached entry (touching it most-recently-used) or nullptr.
+  const CachedEval* find(const Key& key);
+  // Inserts (or refreshes) an entry, evicting the least-recently-used one
+  // when over capacity. No-op when capacity is 0.
+  void insert(const Key& key, CachedEval value);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<Key, CachedEval>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash, KeyEqual>
+      map_;
+};
+
+// Backend strategy: execute a batch of independent evaluation jobs. Jobs
+// are self-contained (they catch their own simulation errors) and may run
+// in any order on any thread; completion of run() implies completion of
+// every job.
+class EvalBackend {
+ public:
+  virtual ~EvalBackend() = default;
+  virtual void run(std::span<const std::function<void()>> jobs) = 0;
+  [[nodiscard]] virtual int threads() const = 0;
+};
+
+class EvalService {
+ public:
+  explicit EvalService(EvalServiceConfig cfg = eval_config_from_env());
+  ~EvalService();
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  // Evaluate a batch of action matrices against `bc` through the refine ->
+  // simulate -> FoM pipeline. Results come back in submission order.
+  std::vector<EvalResult> eval_batch(const BenchmarkCircuit& bc,
+                                     std::span<const la::Mat> actions);
+  EvalResult eval_one(const BenchmarkCircuit& bc, const la::Mat& actions);
+
+  [[nodiscard]] int threads() const;
+  EvalCache& cache() { return cache_; }
+
+  // --- counters ---------------------------------------------------------
+  // requested = every evaluation asked for; sims = simulator runs actually
+  // executed; cache_hits = requested - sims for cache-served results.
+  [[nodiscard]] long requested() const { return requested_; }
+  [[nodiscard]] long sims() const { return sims_; }
+  [[nodiscard]] long cache_hits() const { return cache_hits_; }
+
+ private:
+  EvalServiceConfig cfg_;
+  std::unique_ptr<EvalBackend> backend_;
+  EvalCache cache_;
+  long requested_ = 0;
+  long sims_ = 0;
+  long cache_hits_ = 0;
+};
+
+}  // namespace gcnrl::env

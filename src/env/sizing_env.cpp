@@ -1,18 +1,27 @@
 #include "env/sizing_env.hpp"
 
+#include <cmath>
+
+#include "env/eval_service.hpp"
 #include "la/stats.hpp"
-#include "sim/mna.hpp"
 
 namespace gcnrl::env {
 
-SizingEnv::SizingEnv(BenchmarkCircuit bc, IndexMode mode)
-    : bc_(std::move(bc)), mode_(mode) {
+SizingEnv::SizingEnv(BenchmarkCircuit bc, IndexMode mode,
+                     EvalServiceConfig ecfg)
+    : bc_(std::move(bc)),
+      mode_(mode),
+      svc_(std::make_unique<EvalService>(ecfg)) {
   n_ = bc_.netlist.num_design_components();
   adjacency_ = circuit::build_adjacency(bc_.netlist);
   kinds_.reserve(n_);
   for (int i = 0; i < n_; ++i) kinds_.push_back(bc_.netlist.design_kind(i));
   build_state();
 }
+
+SizingEnv::~SizingEnv() = default;
+SizingEnv::SizingEnv(SizingEnv&&) noexcept = default;
+SizingEnv& SizingEnv::operator=(SizingEnv&&) noexcept = default;
 
 void SizingEnv::build_state() {
   const int idx_dim = mode_ == IndexMode::OneHot ? n_ : 1;
@@ -36,26 +45,24 @@ void SizingEnv::build_state() {
 }
 
 EvalResult SizingEnv::step(const la::Mat& actions) {
-  ++num_evals_;
-  EvalResult out;
-  out.params = bc_.space.refine(actions);
-  circuit::Netlist sized = bc_.netlist;
-  bc_.space.apply(sized, out.params);
-  try {
-    out.metrics = bc_.evaluate(sized);
-    out.sim_ok = true;
-  } catch (const sim::SimError&) {
-    out.sim_ok = false;
-    out.fom = bc_.fom.sim_fail_fom;
-    return out;
-  }
-  out.spec_ok = bc_.fom.spec_ok(out.metrics);
-  out.fom = bc_.fom.fom(out.metrics);
-  return out;
+  return svc_->eval_one(bc_, actions);
+}
+
+std::vector<EvalResult> SizingEnv::step_batch(
+    std::span<const la::Mat> actions) {
+  return svc_->eval_batch(bc_, actions);
 }
 
 EvalResult SizingEnv::step_flat(std::span<const double> x) {
   return step(bc_.space.unflatten(x));
+}
+
+std::vector<EvalResult> SizingEnv::step_flat_batch(
+    std::span<const std::vector<double>> xs) {
+  std::vector<la::Mat> actions;
+  actions.reserve(xs.size());
+  for (const auto& x : xs) actions.push_back(bc_.space.unflatten(x));
+  return step_batch(actions);
 }
 
 EvalResult SizingEnv::evaluate_params(const circuit::DesignParams& p) {
@@ -63,29 +70,35 @@ EvalResult SizingEnv::evaluate_params(const circuit::DesignParams& p) {
 }
 
 int SizingEnv::calibrate(int samples, Rng& rng) {
-  std::vector<MetricMap> ok;
-  ok.reserve(samples);
+  // Draw the whole sample schedule first (the RNG stream is identical to
+  // the historical one-at-a-time loop), then evaluate as one batch so the
+  // thread-pool backend parallelizes calibration too.
+  std::vector<la::Mat> actions;
+  actions.reserve(samples);
   for (int s = 0; s < samples; ++s) {
-    const la::Mat a = bc_.space.random_actions(rng);
-    const auto params = bc_.space.refine(a);
-    circuit::Netlist sized = bc_.netlist;
-    bc_.space.apply(sized, params);
-    try {
-      MetricMap m = bc_.evaluate(sized);
-      bool finite = true;
-      for (const auto& [k, v] : m) {
-        if (!std::isfinite(v)) {
-          finite = false;
-          break;
-        }
+    actions.push_back(bc_.space.random_actions(rng));
+  }
+  std::vector<EvalResult> results = step_batch(actions);
+  std::vector<MetricMap> ok;
+  ok.reserve(results.size());
+  for (EvalResult& r : results) {
+    if (!r.sim_ok) continue;
+    bool finite = true;
+    for (const auto& [k, v] : r.metrics) {
+      if (!std::isfinite(v)) {
+        finite = false;
+        break;
       }
-      if (finite) ok.push_back(std::move(m));
-    } catch (const sim::SimError&) {
-      // Failed random designs simply don't contribute to the normalizers.
     }
+    if (finite) ok.push_back(std::move(r.metrics));
   }
   if (!ok.empty()) bc_.fom.calibrate(ok);
   return static_cast<int>(ok.size());
 }
+
+long SizingEnv::num_evals() const { return svc_->requested(); }
+long SizingEnv::num_sims() const { return svc_->sims(); }
+long SizingEnv::cache_hits() const { return svc_->cache_hits(); }
+int SizingEnv::eval_threads() const { return svc_->threads(); }
 
 }  // namespace gcnrl::env

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "circuit/design_space.hpp"
 #include "circuit/graph.hpp"
@@ -37,6 +39,15 @@ struct BenchmarkCircuit {
   circuit::DesignSpace space;
   FomSpec fom;
   // Runs all analyses on a sized netlist; throws sim::SimError on failure.
+  //
+  // CONCURRENCY CONTRACT (as close to a static_assert as a type-erased
+  // closure allows): EvalService invokes this closure concurrently from
+  // worker threads, each on its own sized-netlist copy. The closure must
+  // therefore be a pure function of its argument: capture everything by
+  // value (in particular the Technology — never a reference to the
+  // enclosing builder's `tech`), construct Simulators locally, and touch
+  // no shared mutable state. All four builders in src/circuits/ comply
+  // and are covered by the 8-thread tests in test_circuits/test_eval.
   std::function<MetricMap(const circuit::Netlist&)> evaluate;
   circuit::DesignParams human_expert;
 };
@@ -47,13 +58,29 @@ struct EvalResult {
   double fom = 0.0;
   bool sim_ok = false;
   bool spec_ok = false;
+  bool cached = false;  // served from the EvalService result cache
   MetricMap metrics;
   circuit::DesignParams params;
 };
 
+// Evaluation-engine knobs (see eval_service.hpp for the engine itself).
+struct EvalServiceConfig {
+  int threads = 1;                    // 1 = serial backend (the default)
+  std::size_t cache_capacity = 4096;  // LRU entries; 0 disables the cache
+};
+
+// Reads GCNRL_EVAL_THREADS / GCNRL_EVAL_CACHE from the environment.
+EvalServiceConfig eval_config_from_env();
+
+class EvalService;
+
 class SizingEnv {
  public:
-  explicit SizingEnv(BenchmarkCircuit bc, IndexMode mode = IndexMode::OneHot);
+  explicit SizingEnv(BenchmarkCircuit bc, IndexMode mode = IndexMode::OneHot,
+                     EvalServiceConfig ecfg = eval_config_from_env());
+  ~SizingEnv();
+  SizingEnv(SizingEnv&&) noexcept;
+  SizingEnv& operator=(SizingEnv&&) noexcept;
 
   // --- topology view ---------------------------------------------------
   [[nodiscard]] int n() const { return n_; }
@@ -66,10 +93,16 @@ class SizingEnv {
   [[nodiscard]] IndexMode index_mode() const { return mode_; }
 
   // --- evaluation ------------------------------------------------------
+  // All evaluation funnels through the EvalService: step/step_flat are
+  // thin wrappers over batches of one. Batch results come back in
+  // submission order and are bit-identical for every thread count.
   // actions: n x kMaxActionDim in [-1, 1].
   EvalResult step(const la::Mat& actions);
-  // Flattened view for the black-box baselines.
+  std::vector<EvalResult> step_batch(std::span<const la::Mat> actions);
+  // Flattened views for the black-box baselines.
   EvalResult step_flat(std::span<const double> x);
+  std::vector<EvalResult> step_flat_batch(
+      std::span<const std::vector<double>> xs);
   [[nodiscard]] int flat_dim() const { return bc_.space.flat_dim(); }
   // Evaluate explicit parameters (the human-expert anchor) through the
   // identical refine -> simulate -> FoM pipeline.
@@ -83,7 +116,13 @@ class SizingEnv {
 
   [[nodiscard]] const BenchmarkCircuit& bench() const { return bc_; }
   BenchmarkCircuit& bench() { return bc_; }
-  [[nodiscard]] long num_evals() const { return num_evals_; }
+  // Requested evaluations (cache hits included), simulator runs actually
+  // executed, and cache-served results. num_evals - num_sims = cache_hits.
+  [[nodiscard]] long num_evals() const;
+  [[nodiscard]] long num_sims() const;
+  [[nodiscard]] long cache_hits() const;
+  [[nodiscard]] int eval_threads() const;
+  EvalService& eval_service() { return *svc_; }
 
  private:
   void build_state();
@@ -94,7 +133,7 @@ class SizingEnv {
   la::Mat adjacency_;
   la::Mat state_;
   std::vector<circuit::Kind> kinds_;
-  long num_evals_ = 0;
+  std::unique_ptr<EvalService> svc_;
 };
 
 }  // namespace gcnrl::env

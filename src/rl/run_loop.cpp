@@ -1,5 +1,8 @@
 #include "rl/run_loop.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 namespace gcnrl::rl {
 
 void RunResult::record(double fom) {
@@ -7,57 +10,88 @@ void RunResult::record(double fom) {
   best_trace.push_back(best_fom);
 }
 
+void RunResult::commit(const la::Mat& actions, const env::EvalResult& r) {
+  ++evals;
+  if (r.cached) ++cache_hits;
+  if (r.fom > best_fom) {
+    best_actions = actions;
+    best_metrics = r.metrics;
+  }
+  record(r.fom);
+}
+
+void RunResult::commit_flat(const circuit::DesignSpace& space,
+                            std::span<const double> x,
+                            const env::EvalResult& r) {
+  ++evals;
+  if (r.cached) ++cache_hits;
+  if (r.fom > best_fom) {
+    best_actions = space.unflatten(x);
+    best_metrics = r.metrics;
+  }
+  record(r.fom);
+}
+
 RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps) {
+  // DDPG is inherently sequential (each action depends on the previous
+  // observation), so it steps one evaluation at a time; the EvalService
+  // cache still short-circuits revisited designs.
   RunResult out;
   for (int step = 0; step < steps; ++step) {
     const la::Mat actions = agent.act_explore();
     const env::EvalResult r = env.step(actions);
     agent.observe(actions, r.fom);
-    if (r.fom > out.best_fom) {
-      out.best_actions = actions;
-      out.best_metrics = r.metrics;
-    }
-    out.record(r.fom);
+    out.commit(actions, r);
   }
   return out;
 }
 
 RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
-                        int steps) {
+                        int steps, double seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
   RunResult out;
   int done = 0;
   while (done < steps) {
-    const auto xs = optimizer.ask();
-    std::vector<double> ys;
-    ys.reserve(xs.size());
-    for (const auto& x : xs) {
-      const env::EvalResult r = env.step_flat(x);
-      ys.push_back(r.fom);
-      if (r.fom > out.best_fom) {
-        out.best_actions = env.bench().space.unflatten(x);
-        out.best_metrics = r.metrics;
-      }
-      out.record(r.fom);
-      if (++done >= steps) break;
+    if (seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (elapsed > seconds) break;
     }
-    // Feed back only the evaluated prefix.
-    std::vector<std::vector<double>> xs_done(xs.begin(),
-                                             xs.begin() + ys.size());
-    optimizer.tell(xs_done, ys);
+    auto xs = optimizer.ask();
+    // Truncate to the remaining budget: the cost model is "number of
+    // simulations", so a population never overshoots the step budget.
+    if (static_cast<int>(xs.size()) > steps - done) {
+      xs.resize(static_cast<std::size_t>(steps - done));
+    }
+    const auto results = env.step_flat_batch(xs);
+    std::vector<double> ys;
+    ys.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ys.push_back(results[i].fom);
+      out.commit_flat(env.bench().space, xs[i], results[i]);
+    }
+    optimizer.tell(xs, ys);
+    done += static_cast<int>(xs.size());
   }
   return out;
 }
 
 RunResult run_random(env::SizingEnv& env, int steps, Rng rng) {
   RunResult out;
-  for (int step = 0; step < steps; ++step) {
-    const la::Mat actions = env.random_actions(rng);
-    const env::EvalResult r = env.step(actions);
-    if (r.fom > out.best_fom) {
-      out.best_actions = actions;
-      out.best_metrics = r.metrics;
-    }
-    out.record(r.fom);
+  // Fixed chunk size, deliberately independent of the backend thread
+  // count: cache-state evolution (and hence the trace) depends only on
+  // the chunking, so any GCNRL_EVAL_THREADS yields the identical result.
+  constexpr int kChunk = 64;
+  int done = 0;
+  while (done < steps) {
+    const int m = std::min(kChunk, steps - done);
+    std::vector<la::Mat> actions;
+    actions.reserve(m);
+    for (int i = 0; i < m; ++i) actions.push_back(env.random_actions(rng));
+    const auto results = env.step_batch(actions);
+    for (int i = 0; i < m; ++i) out.commit(actions[i], results[i]);
+    done += m;
   }
   return out;
 }

@@ -2,6 +2,14 @@
 // harnesses: run a DDPG agent or a black-box optimizer against a
 // SizingEnv for a step budget and record the best-so-far FoM trace (the
 // quantity plotted in the paper's Figs. 5/7/8).
+//
+// The black-box drivers submit whole candidate batches to the env's
+// EvalService (run_optimizer forwards each ask() population, run_random
+// pre-generates fixed-size chunks), so evaluation parallelism and result
+// caching come for free. Results are committed to the trace in submission
+// order regardless of completion order, and all batching decisions are
+// independent of the thread count — best_trace is bit-identical under
+// GCNRL_EVAL_THREADS=1 and =N.
 #pragma once
 
 #include <memory>
@@ -19,18 +27,32 @@ struct RunResult {
   double best_fom = -1e300;
   la::Mat best_actions;            // n x kMaxActionDim
   env::MetricMap best_metrics;
+  long evals = 0;       // evaluations committed to the trace
+  long cache_hits = 0;  // subset served by the EvalService result cache
 
   void record(double fom);
+  // Commit one evaluation: counters, best-so-far bookkeeping, and the
+  // trace. Cached and freshly simulated results are handled identically —
+  // a cache hit carries the same metrics/actions a fresh simulation would.
+  void commit(const la::Mat& actions, const env::EvalResult& r);
+  // Flat-vector variant: unflattens into best_actions only when the
+  // result improves on the best, keeping the cache-hit fast path cheap.
+  void commit_flat(const circuit::DesignSpace& space,
+                   std::span<const double> x, const env::EvalResult& r);
 };
 
 // Run `agent` for `steps` episodes of Algorithm 1 against `env`.
 RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps);
 
-// Run a black-box optimizer (ask/tell on the flattened space).
+// Run a black-box optimizer (ask/tell on the flattened space). Each ask()
+// population is evaluated as one batch, truncated to the remaining budget.
+// seconds > 0 adds a wall-clock cap checked between batches (the paper's
+// runtime-matching rule for the O(N^3) BO methods); <= 0 means no cap.
 RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
-                        int steps);
+                        int steps, double seconds = 0.0);
 
-// Evaluate `steps` uniform random designs (the paper's Random baseline).
+// Evaluate `steps` uniform random designs (the paper's Random baseline),
+// pre-generated and submitted in fixed-size batches.
 RunResult run_random(env::SizingEnv& env, int steps, Rng rng);
 
 }  // namespace gcnrl::rl

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "circuit/graph.hpp"
 #include "circuits/benchmark_circuits.hpp"
@@ -163,4 +165,37 @@ TEST(TwoVolt, OutputCommonModeFollowsReference) {
   const double vob = s.op().node(nl.find_node("vob").value());
   EXPECT_NEAR((voa + vob) / 2.0, kTech.vdd / 2.0, 0.12);
   EXPECT_NEAR(voa, vob, 1e-6);  // symmetric circuit
+}
+
+// Concurrency audit companion (see BenchmarkCircuit::evaluate's contract):
+// the measurement closures must be pure functions of the sized netlist, so
+// 8 threads evaluating the same circuit concurrently — each on its own
+// netlist copy, sharing one closure — must agree bit-for-bit with a serial
+// reference evaluation. Run under -DGCNRL_SANITIZE=address or =thread to
+// turn latent data races into hard failures.
+TEST_P(BenchmarkCircuitTest, EvaluateClosureIsThreadSafe) {
+  const auto bc = circuits::make_benchmark(GetParam(), kTech);
+  circuit::Netlist sized = bc.netlist;
+  bc.space.apply(sized, bc.human_expert);
+  const env::MetricMap reference = bc.evaluate(sized);
+
+  constexpr int kThreads = 8;
+  std::vector<env::MetricMap> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bc, &sized, &got, t] {
+      circuit::Netlist own = sized;  // per-thread copy, as EvalService does
+      got[static_cast<std::size_t>(t)] = bc.evaluate(own);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (const auto& m : got) {
+    ASSERT_EQ(m.size(), reference.size());
+    for (const auto& [k, v] : reference) {
+      ASSERT_EQ(m.count(k), 1u) << k;
+      EXPECT_DOUBLE_EQ(m.at(k), v) << k;
+    }
+  }
 }

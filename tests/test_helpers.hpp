@@ -1,0 +1,41 @@
+// Shared helpers for the test suites (not part of the installed API).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace gcnrl::testing {
+
+// RAII helper: sets an environment variable for one test and restores the
+// previous value (or unsets) on destruction, so suites stay order-independent.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+}  // namespace gcnrl::testing
