@@ -18,6 +18,7 @@
 #include "circuits/benchmark_circuits.hpp"
 #include "common/envcfg.hpp"
 #include "common/table.hpp"
+#include "env/eval_service.hpp"
 #include "la/stats.hpp"
 #include "opt/bayes_opt.hpp"
 #include "opt/cma_es.hpp"
@@ -33,30 +34,84 @@ inline const std::vector<std::string> kMethods = {
 // A calibrated environment factory: builds fresh envs for a circuit while
 // sharing one FoM calibration (normalizers must be identical across
 // methods for the comparison to be meaningful).
+//
+// When constructed with a shared EvalService, every env the factory makes
+// — including the calibration probe — evaluates through that service, so a
+// whole harness shares one thread pool and one result cache. Without one,
+// each env gets a private service from the GCNRL_EVAL_* knobs, as before.
 class EnvFactory {
  public:
   EnvFactory(std::string circuit_name, const circuit::Technology& tech,
-             env::IndexMode mode, int calib_samples, Rng& rng)
-      : name_(std::move(circuit_name)), tech_(tech), mode_(mode) {
-    env::SizingEnv probe(circuits::make_benchmark(name_, tech_), mode_);
+             env::IndexMode mode, int calib_samples, Rng& rng,
+             std::shared_ptr<env::EvalService> svc = nullptr)
+      : name_(std::move(circuit_name)),
+        tech_(tech),
+        mode_(mode),
+        svc_(std::move(svc)) {
+    env::SizingEnv probe(circuits::make_benchmark(name_, tech_), mode_,
+                         svc_);
     probe.calibrate(calib_samples, rng);
     fom_ = probe.bench().fom;
   }
 
+  // Env on the factory's own service (private per-env when none was set).
   [[nodiscard]] std::unique_ptr<env::SizingEnv> make() const {
+    return make(svc_);
+  }
+
+  // Env on an explicit shared service (sweep() uses this to put all S
+  // seed-envs of a lockstep group on one service).
+  [[nodiscard]] std::unique_ptr<env::SizingEnv> make(
+      std::shared_ptr<env::EvalService> svc) const {
     auto bc = circuits::make_benchmark(name_, tech_);
     bc.fom = fom_;
-    return std::make_unique<env::SizingEnv>(std::move(bc), mode_);
+    return std::make_unique<env::SizingEnv>(std::move(bc), mode_,
+                                            std::move(svc));
   }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const env::FomSpec& fom() const { return fom_; }
+  [[nodiscard]] const std::shared_ptr<env::EvalService>& service() const {
+    return svc_;
+  }
 
  private:
   std::string name_;
   circuit::Technology tech_;
   env::IndexMode mode_;
   env::FomSpec fom_;
+  std::shared_ptr<env::EvalService> svc_;
+};
+
+// One (agent config, RNG, optional weight source) spec of a lockstep
+// group. `setup`, when set, runs on the freshly built env before the agent
+// is constructed (e.g. to tweak the FoM spec per pair); `copy_from`, when
+// non-null, seeds the agent's weights from a pretrained agent.
+struct LockstepSpec {
+  rl::DdpgConfig cfg;
+  Rng rng;
+  rl::DdpgAgent* copy_from = nullptr;
+  std::function<void(env::SizingEnv&)> setup;
+};
+
+// S (env, agent) pairs built from one factory onto one shared EvalService
+// (the factory's, or a group-local one when the factory has none), stepped
+// together through rl::run_ddpg_lockstep. The group owns its envs and
+// agents — pretraining harnesses keep it alive and hand its agents to
+// later groups as `copy_from` sources.
+class LockstepGroup {
+ public:
+  LockstepGroup(const EnvFactory& factory, std::vector<LockstepSpec> specs);
+
+  std::vector<rl::RunResult> run(int steps);
+
+  [[nodiscard]] std::size_t size() const { return agents_.size(); }
+  [[nodiscard]] rl::DdpgAgent& agent(std::size_t i) { return *agents_[i]; }
+  [[nodiscard]] env::SizingEnv& env(std::size_t i) { return *envs_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<env::SizingEnv>> envs_;
+  std::vector<std::unique_ptr<rl::DdpgAgent>> agents_;
 };
 
 // Thin forwarder to rl::run_optimizer's deadline overload: stops early
@@ -77,18 +132,29 @@ struct MethodRun {
 };
 
 // One (method, seed) run. `rl_seconds` is the wall-clock of the matching
-// RL run used as the BO/MACE runtime budget (<=0: no cap).
+// RL run used as the BO/MACE runtime budget (<=0: no cap). A non-null
+// `svc` overrides the factory's service for this run's env.
 MethodRun run_method(const std::string& method, const EnvFactory& factory,
                      int steps, int warmup, std::uint64_t seed,
-                     double rl_seconds, const rl::DdpgConfig& base_cfg = {});
+                     double rl_seconds, const rl::DdpgConfig& base_cfg = {},
+                     std::shared_ptr<env::EvalService> svc = nullptr);
 
 // Seed sweep: returns best-FoM per seed plus the traces.
+//
+// All S seeds share one EvalService (the factory's, or a sweep-local one
+// when the factory has none). The RL methods run through
+// rl::run_ddpg_lockstep — S (env, agent) pairs stepped side by side, one
+// S-wide simulation batch per step — so GCNRL_EVAL_THREADS parallelizes
+// across seeds; per-seed traces are bit-identical to the serial per-seed
+// loop. The black-box methods keep their per-seed loop (ask/tell is
+// sequential within a seed) but batch each population on the shared
+// service and share its result cache across seeds.
 struct SweepResult {
   std::vector<double> best;             // per seed
   std::vector<std::vector<double>> traces;
   double mean = 0.0;
   double stddev = 0.0;
-  double rl_seconds = 0.0;  // mean runtime (only filled for RL methods)
+  double rl_seconds = 0.0;  // mean per-seed runtime
 };
 SweepResult sweep(const std::string& method, const EnvFactory& factory,
                   int steps, int warmup, int seeds, double rl_seconds,

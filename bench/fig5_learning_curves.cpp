@@ -13,13 +13,15 @@ int main() {
   const auto tech = circuit::make_technology("180nm");
   Rng rng(2024);
   const int seeds = std::max(1, cfg.seeds - 1);  // curves: 1 fewer seed
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
 
   std::printf("Fig 5: learning curves (steps=%d, seeds=%d)\n%s\n\n",
               cfg.steps, seeds, bench::eval_banner().c_str());
 
   for (const auto& circuit_name : circuits::benchmark_names()) {
     bench::EnvFactory factory(circuit_name, tech, env::IndexMode::OneHot,
-                              cfg.calib_samples, rng);
+                              cfg.calib_samples, rng, svc);
     std::map<std::string, std::vector<double>> mean_trace;
     double rl_seconds = 0.0;
     for (const auto& method : bench::kMethods) {
@@ -31,8 +33,9 @@ int main() {
       std::size_t len = sw.traces.front().size();
       for (const auto& t : sw.traces) len = std::min(len, t.size());
       std::vector<double> mean(len, 0.0);
+      const auto n_traces = static_cast<double>(sw.traces.size());
       for (const auto& t : sw.traces) {
-        for (std::size_t i = 0; i < len; ++i) mean[i] += t[i] / sw.best.size();
+        for (std::size_t i = 0; i < len; ++i) mean[i] += t[i] / n_traces;
       }
       mean_trace[method] = std::move(mean);
       std::printf("  %-10s %-7s final %.3f\n", circuit_name.c_str(),

@@ -12,12 +12,14 @@ int main() {
   const BenchConfig cfg = bench_config();
   Rng rng(2024);
   const auto tech180 = circuit::make_technology("180nm");
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
 
   std::printf("Fig 7: Three-TIA transfer curves (pretrain=%d, budget=%d)\n%s\n\n",
               cfg.steps, cfg.transfer_steps, bench::eval_banner().c_str());
 
   bench::EnvFactory factory180("Three-TIA", tech180, env::IndexMode::OneHot,
-                               cfg.calib_samples, rng);
+                               cfg.calib_samples, rng, svc);
   auto env180 = factory180.make();
   rl::DdpgConfig pre_cfg;
   pre_cfg.warmup = cfg.warmup;
@@ -29,23 +31,20 @@ int main() {
   for (const std::string node : {"45nm", "65nm", "130nm", "250nm"}) {
     bench::EnvFactory factory("Three-TIA", circuit::make_technology(node),
                               env::IndexMode::OneHot, cfg.calib_samples,
-                              rng);
+                              rng, svc);
     rl::DdpgConfig t_cfg;
     t_cfg.warmup = cfg.transfer_warmup;
-    rl::RunResult none, xfer;
-    {
-      auto env = factory.make();
-      rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                          t_cfg, Rng(901));
-      none = rl::run_ddpg(*env, agent, cfg.transfer_steps);
+    // Both modes advance in lockstep (identical Rng(901) warm-up streams,
+    // two simulations per step on the shared service).
+    std::vector<bench::LockstepSpec> specs;
+    for (const bool transfer : {false, true}) {
+      specs.push_back(bench::LockstepSpec{
+          t_cfg, Rng(901), transfer ? &pretrained : nullptr, {}});
     }
-    {
-      auto env = factory.make();
-      rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                          t_cfg, Rng(901));
-      agent.copy_weights_from(pretrained);
-      xfer = rl::run_ddpg(*env, agent, cfg.transfer_steps);
-    }
+    bench::LockstepGroup group(factory, std::move(specs));
+    auto runs = group.run(cfg.transfer_steps);
+    const rl::RunResult none = std::move(runs[0]);
+    const rl::RunResult xfer = std::move(runs[1]);
     const std::string path = "fig7_" + node + ".csv";
     CsvWriter csv(path);
     csv.row({"step", "no_transfer", "transfer"});

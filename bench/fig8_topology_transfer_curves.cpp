@@ -11,6 +11,8 @@ int main() {
   const BenchConfig cfg = bench_config();
   Rng rng(2024);
   const auto tech = circuit::make_technology("180nm");
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
 
   std::printf("Fig 8: topology-transfer curves (pretrain=%d, budget=%d)\n%s\n\n",
               cfg.steps, cfg.transfer_steps, bench::eval_banner().c_str());
@@ -19,39 +21,42 @@ int main() {
        std::vector<std::pair<std::string, std::string>>{
            {"Two-TIA", "Three-TIA"}, {"Three-TIA", "Two-TIA"}}) {
     bench::EnvFactory src_factory(src, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng);
+                                  cfg.calib_samples, rng, svc);
     bench::EnvFactory dst_factory(dst, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng);
+                                  cfg.calib_samples, rng, svc);
     std::map<std::string, rl::RunResult> curves;
-    std::map<bool, std::unique_ptr<rl::DdpgAgent>> pretrained;
+    // Pretrain both variants in lockstep on the shared service; the group
+    // owns the pretrained agents used as weight sources below.
+    std::vector<bench::LockstepSpec> pre_specs;
     for (bool use_gcn : {true, false}) {
-      auto env = src_factory.make();
       rl::DdpgConfig pre_cfg;
       pre_cfg.warmup = cfg.warmup;
       pre_cfg.use_gcn = use_gcn;
-      auto agent = std::make_unique<rl::DdpgAgent>(
-          env->state(), env->adjacency(), env->kinds(), pre_cfg, Rng(600));
-      rl::run_ddpg(*env, *agent, cfg.steps);
-      pretrained[use_gcn] = std::move(agent);
+      pre_specs.push_back(bench::LockstepSpec{pre_cfg, Rng(600), nullptr, {}});
     }
+    bench::LockstepGroup pre(src_factory, std::move(pre_specs));
+    pre.run(cfg.steps);
+    const std::map<bool, rl::DdpgAgent*> pretrained = {{true, &pre.agent(0)},
+                                                       {false, &pre.agent(1)}};
 
+    // All three fine-tuning modes in lockstep (identical Rng(902) warm-up
+    // streams, three simulations per step).
     rl::DdpgConfig t_cfg;
     t_cfg.warmup = cfg.transfer_warmup;
-    {
-      auto env = dst_factory.make();
-      rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                          t_cfg, Rng(902));
-      curves["no_transfer"] = rl::run_ddpg(*env, agent, cfg.transfer_steps);
-    }
-    for (bool use_gcn : {false, true}) {
-      auto env = dst_factory.make();
+    const std::vector<std::string> modes = {"no_transfer", "ng_transfer",
+                                            "gcn_transfer"};
+    std::vector<bench::LockstepSpec> specs;
+    for (std::size_t mode = 0; mode < modes.size(); ++mode) {
       rl::DdpgConfig m_cfg = t_cfg;
-      m_cfg.use_gcn = use_gcn;
-      rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                          m_cfg, Rng(902));
-      agent.copy_weights_from(*pretrained[use_gcn]);
-      curves[use_gcn ? "gcn_transfer" : "ng_transfer"] =
-          rl::run_ddpg(*env, agent, cfg.transfer_steps);
+      const bool use_gcn = mode == 2;
+      if (mode > 0) m_cfg.use_gcn = use_gcn;
+      specs.push_back(bench::LockstepSpec{
+          m_cfg, Rng(902), mode > 0 ? pretrained.at(use_gcn) : nullptr, {}});
+    }
+    bench::LockstepGroup group(dst_factory, std::move(specs));
+    auto runs = group.run(cfg.transfer_steps);
+    for (std::size_t mode = 0; mode < modes.size(); ++mode) {
+      curves[modes[mode]] = std::move(runs[mode]);
     }
 
     const std::string path = "fig8_" + src + "_to_" + dst + ".csv";

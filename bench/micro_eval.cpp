@@ -8,12 +8,15 @@
 // --benchmark_counters_tabular=true for a compact table.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "circuits/benchmark_circuits.hpp"
 #include "common/rng.hpp"
 #include "env/eval_service.hpp"
 #include "env/sizing_env.hpp"
+#include "rl/ddpg.hpp"
+#include "rl/run_loop.hpp"
 
 using namespace gcnrl;
 
@@ -63,5 +66,45 @@ void BM_EvalBatch_TwoTia_CacheHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_EvalBatch_TwoTia_CacheHit)->Unit(benchmark::kMillisecond);
+
+// Lockstep multi-seed DDPG throughput: 4 (env, agent) pairs sharing one
+// EvalService, stepped via rl::run_ddpg_lockstep. items_per_second counts
+// seed-steps (one simulation each, cache disabled); agents stay in their
+// warm-up phase so the number measures the sweep engine + simulator, not
+// network updates. On an N-core machine the multi-thread rows should pull
+// ahead of serial — this is the "seeds/sec" scaling number behind the
+// parallel bench::sweep path.
+void BM_DdpgLockstep_TwoTia(benchmark::State& state) {
+  env::EvalServiceConfig cfg;
+  cfg.threads = static_cast<int>(state.range(0));
+  cfg.cache_capacity = 0;
+  const auto svc = std::make_shared<env::EvalService>(cfg);
+  constexpr int kSeeds = 4;
+  constexpr int kSteps = 8;
+  std::vector<std::unique_ptr<env::SizingEnv>> envs;
+  std::vector<std::unique_ptr<rl::DdpgAgent>> agents;
+  std::vector<env::SizingEnv*> env_ptrs;
+  std::vector<rl::DdpgAgent*> agent_ptrs;
+  rl::DdpgConfig rl_cfg;
+  rl_cfg.warmup = 1 << 30;  // never leave warm-up: no NN updates measured
+  for (int s = 0; s < kSeeds; ++s) {
+    envs.push_back(std::make_unique<env::SizingEnv>(
+        circuits::make_two_tia(kTech), env::IndexMode::OneHot, svc));
+    agents.push_back(std::make_unique<rl::DdpgAgent>(
+        envs.back()->state(), envs.back()->adjacency(), envs.back()->kinds(),
+        rl_cfg, Rng(100 + s)));
+    env_ptrs.push_back(envs.back().get());
+    agent_ptrs.push_back(agents.back().get());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rl::run_ddpg_lockstep(env_ptrs, agent_ptrs, kSteps)
+            .front()
+            .best_fom);
+  }
+  state.SetItemsProcessed(state.iterations() * kSeeds * kSteps);
+}
+BENCHMARK(BM_DdpgLockstep_TwoTia)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -1,0 +1,51 @@
+// Tiny end-to-end run of the parallel bench::sweep path: one RL method
+// through the lockstep multi-seed engine and one black-box method through
+// the shared-service per-seed path, on a real circuit with a small budget.
+// Exits non-zero if the sweep shape is wrong (trace count/length), so it
+// doubles as the CTest/CI smoke job (run with GCNRL_EVAL_THREADS=4).
+//
+// Usage: sweep_smoke [steps] [seeds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
+
+using namespace gcnrl;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int seeds = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int warmup = steps / 2;
+  const int calib = 32;
+  const auto tech = circuit::make_technology("180nm");
+  Rng rng(2024);
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
+
+  std::printf("sweep smoke: Two-TIA, steps=%d, seeds=%d\n%s\n", steps, seeds,
+              bench::eval_banner().c_str());
+
+  bench::EnvFactory factory("Two-TIA", tech, env::IndexMode::OneHot, calib,
+                            rng, svc);
+  int failures = 0;
+  for (const std::string method : {"GCN-RL", "ES"}) {
+    const auto sw = bench::sweep(method, factory, steps, warmup, seeds, 0.0);
+    const bool shape_ok =
+        static_cast<int>(sw.traces.size()) == seeds &&
+        static_cast<int>(sw.best.size()) == seeds &&
+        [&] {
+          for (const auto& t : sw.traces) {
+            if (static_cast<int>(t.size()) != steps) return false;
+          }
+          return true;
+        }();
+    if (!shape_ok) ++failures;
+    std::printf("  %-7s mean %.3f +/- %.3f  (%zu traces)%s\n", method.c_str(),
+                sw.mean, sw.stddev, sw.traces.size(),
+                shape_ok ? "" : "  SHAPE MISMATCH");
+  }
+  std::printf("service: %ld evals, %ld sims, %ld cache hits, %d threads\n",
+              svc->requested(), svc->sims(), svc->cache_hits(),
+              svc->threads());
+  return failures == 0 ? 0 : 1;
+}

@@ -36,6 +36,8 @@ int main() {
   const BenchConfig cfg = bench_config();
   const auto tech = circuit::make_technology("180nm");
   Rng rng(2024);
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
 
   std::printf(
       "Table I: FoM comparison (steps=%d, warmup=%d, seeds=%d, calib=%d)\n"
@@ -50,7 +52,7 @@ int main() {
 
   for (const auto& circuit_name : circuits::benchmark_names()) {
     bench::EnvFactory factory(circuit_name, tech, env::IndexMode::OneHot,
-                              cfg.calib_samples, rng);
+                              cfg.calib_samples, rng, svc);
     // Human anchor.
     {
       auto env = factory.make();

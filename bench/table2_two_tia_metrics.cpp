@@ -39,8 +39,10 @@ int main() {
       "| GBW THz*ohm\n%s\n\n",
       cfg.steps, cfg.seeds, bench::eval_banner().c_str());
 
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
   bench::EnvFactory factory("Two-TIA", tech, env::IndexMode::OneHot,
-                            cfg.calib_samples, rng);
+                            cfg.calib_samples, rng, svc);
   TextTable table({"Design", "BW", "Gain", "Power", "Noise", "Peaking",
                    "GBW", "FoM"});
 
@@ -64,21 +66,30 @@ int main() {
     std::fflush(stdout);
   }
 
-  // GCN-RL-1..5: 10x weight on one metric each, spec disabled.
+  // GCN-RL-1..5: 10x weight on one metric each, spec disabled. The five
+  // runs share the circuit but not the FoM spec — exactly the per-job FoM
+  // split eval_batch_multi supports — so they advance in lockstep as one
+  // group: five simulations per step on the shared service, raw metrics
+  // shared across the variants whenever designs coincide.
   const std::vector<std::string> focus = {"bw", "gain", "power", "noise",
                                           "peaking"};
+  std::vector<bench::LockstepSpec> specs;
   for (std::size_t k = 0; k < focus.size(); ++k) {
-    auto env = factory.make();
-    env->bench().fom.enforce_spec = false;
-    env->bench().fom.set_weight(
-        focus[k], (focus[k] == "bw" || focus[k] == "gain") ? 10.0 : -10.0);
     rl::DdpgConfig rl_cfg;
     rl_cfg.warmup = cfg.warmup;
-    rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(), rl_cfg,
-                        Rng(77 + k));
-    const auto run = rl::run_ddpg(*env, agent, cfg.steps);
+    bench::LockstepSpec spec{rl_cfg, Rng(77 + k), nullptr, {}};
+    spec.setup = [&focus, k](env::SizingEnv& env) {
+      env.bench().fom.enforce_spec = false;
+      env.bench().fom.set_weight(
+          focus[k], (focus[k] == "bw" || focus[k] == "gain") ? 10.0 : -10.0);
+    };
+    specs.push_back(std::move(spec));
+  }
+  bench::LockstepGroup group(factory, std::move(specs));
+  const auto runs = group.run(cfg.steps);
+  for (std::size_t k = 0; k < focus.size(); ++k) {
     table.add_row(metric_row("GCN-RL-" + std::to_string(k + 1),
-                             run.best_metrics, -1e9));
+                             runs[k].best_metrics, -1e9));
     std::printf("  GCN-RL-%zu (10x %s) done\n", k + 1, focus[k].c_str());
     std::fflush(stdout);
   }

@@ -37,8 +37,10 @@ int main() {
       "Gain x1000 | GBW THz\n%s\n\n",
       cfg.steps, bench::eval_banner().c_str());
 
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
   bench::EnvFactory factory("Two-Volt", tech, env::IndexMode::OneHot,
-                            cfg.calib_samples, rng);
+                            cfg.calib_samples, rng, svc);
   TextTable table({"Design", "BW", "CPM", "DPM", "Power", "Noise", "Gain",
                    "GBW", "FoM"});
   {

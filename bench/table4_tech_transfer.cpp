@@ -13,6 +13,8 @@ int main() {
   const BenchConfig cfg = bench_config();
   Rng rng(2024);
   const auto tech180 = circuit::make_technology("180nm");
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
   const std::vector<std::string> targets = {"250nm", "130nm", "65nm",
                                             "45nm"};
 
@@ -29,7 +31,7 @@ int main() {
     // Pretrain once at 180 nm.
     bench::EnvFactory factory180(circuit_name, tech180,
                                  env::IndexMode::OneHot, cfg.calib_samples,
-                                 rng);
+                                 rng, svc);
     auto env180 = factory180.make();
     rl::DdpgConfig pre_cfg;
     pre_cfg.warmup = cfg.warmup;
@@ -44,29 +46,28 @@ int main() {
     for (const auto& node : targets) {
       bench::EnvFactory factory(circuit_name, circuit::make_technology(node),
                                 env::IndexMode::OneHot, cfg.calib_samples,
-                                rng);
+                                rng, svc);
+      // All 2 x seeds fine-tuning runs advance in lockstep: one batch of
+      // 2*seeds simulations per step on the shared service. Same seed for
+      // both modes: identical warm-up samples (paper: "We use the same
+      // random seeds for two methods").
+      std::vector<bench::LockstepSpec> specs;
+      rl::DdpgConfig t_cfg;
+      t_cfg.warmup = cfg.transfer_warmup;
+      for (int s = 0; s < cfg.seeds; ++s) {
+        const std::uint64_t seed = 900 + 31 * s;
+        for (const bool transfer : {false, true}) {
+          specs.push_back(bench::LockstepSpec{
+              t_cfg, Rng(seed), transfer ? &pretrained : nullptr, {}});
+        }
+      }
+      bench::LockstepGroup group(factory, std::move(specs));
+      const auto runs = group.run(cfg.transfer_steps);
       std::vector<double> none_best, xfer_best;
       for (int s = 0; s < cfg.seeds; ++s) {
-        rl::DdpgConfig t_cfg;
-        t_cfg.warmup = cfg.transfer_warmup;
-        // Same seed for both modes: identical warm-up samples (paper:
-        // "We use the same random seeds for two methods").
-        const std::uint64_t seed = 900 + 31 * s;
-        {
-          auto env = factory.make();
-          rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                              t_cfg, Rng(seed));
-          none_best.push_back(
-              rl::run_ddpg(*env, agent, cfg.transfer_steps).best_fom);
-        }
-        {
-          auto env = factory.make();
-          rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                              t_cfg, Rng(seed));
-          agent.copy_weights_from(pretrained);
-          xfer_best.push_back(
-              rl::run_ddpg(*env, agent, cfg.transfer_steps).best_fom);
-        }
+        none_best.push_back(runs[static_cast<std::size_t>(2 * s)].best_fom);
+        xfer_best.push_back(
+            runs[static_cast<std::size_t>(2 * s + 1)].best_fom);
       }
       row_none.push_back(
           bench::pm(la::mean(none_best), la::stddev(none_best)));

@@ -21,6 +21,8 @@ int main() {
   const BenchConfig cfg = bench_config();
   Rng rng(2024);
   const auto tech = circuit::make_technology("180nm");
+  const auto svc =
+      std::make_shared<env::EvalService>(env::eval_config_from_env());
 
   std::printf(
       "Table V: topology transfer (pretrain=%d, budget=%d steps, seeds=%d)\n"
@@ -37,48 +39,50 @@ int main() {
   for (const Direction& dir : {Direction{"Two-TIA", "Three-TIA"},
                                Direction{"Three-TIA", "Two-TIA"}}) {
     bench::EnvFactory src_factory(dir.src, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng);
+                                  cfg.calib_samples, rng, svc);
     bench::EnvFactory dst_factory(dir.dst, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng);
+                                  cfg.calib_samples, rng, svc);
 
-    // Pretrain GCN and NG agents on the source topology.
-    std::map<bool, std::unique_ptr<rl::DdpgAgent>> pretrained;
+    // Pretrain GCN and NG agents on the source topology, in lockstep (two
+    // simulations per step on the shared service). The group owns the
+    // pretrained agents, so it outlives the transfer runs below.
+    std::vector<bench::LockstepSpec> pre_specs;
     for (bool use_gcn : {true, false}) {
-      auto env = src_factory.make();
       rl::DdpgConfig pre_cfg;
       pre_cfg.warmup = cfg.warmup;
       pre_cfg.use_gcn = use_gcn;
-      auto agent = std::make_unique<rl::DdpgAgent>(
-          env->state(), env->adjacency(), env->kinds(), pre_cfg, Rng(600));
-      rl::run_ddpg(*env, *agent, cfg.steps);
-      pretrained[use_gcn] = std::move(agent);
+      pre_specs.push_back(bench::LockstepSpec{pre_cfg, Rng(600), nullptr, {}});
     }
+    bench::LockstepGroup pre(src_factory, std::move(pre_specs));
+    pre.run(cfg.steps);
+    const std::map<bool, rl::DdpgAgent*> pretrained = {{true, &pre.agent(0)},
+                                                       {false, &pre.agent(1)}};
     std::printf("  %s agents pretrained\n", dir.src.c_str());
     std::fflush(stdout);
 
-    std::vector<double> none, ng, gcn;
+    // Fine-tune all 3 modes x seeds in one lockstep group.
+    std::vector<bench::LockstepSpec> specs;
     for (int s = 0; s < cfg.seeds; ++s) {
       const std::uint64_t seed = 700 + 17 * s;
       rl::DdpgConfig t_cfg;
       t_cfg.warmup = cfg.transfer_warmup;
-      {
-        auto env = dst_factory.make();
-        rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                            t_cfg, Rng(seed));
-        none.push_back(
-            rl::run_ddpg(*env, agent, cfg.transfer_steps).best_fom);
-      }
-      for (bool use_gcn : {false, true}) {
-        auto env = dst_factory.make();
+      // Mode order per seed: none, NG transfer, GCN transfer.
+      for (int mode = 0; mode < 3; ++mode) {
         rl::DdpgConfig m_cfg = t_cfg;
-        m_cfg.use_gcn = use_gcn;
-        rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(),
-                            m_cfg, Rng(seed));
-        agent.copy_weights_from(*pretrained[use_gcn]);
-        (use_gcn ? gcn : ng)
-            .push_back(
-                rl::run_ddpg(*env, agent, cfg.transfer_steps).best_fom);
+        const bool use_gcn = mode == 2;
+        if (mode > 0) m_cfg.use_gcn = use_gcn;
+        specs.push_back(bench::LockstepSpec{
+            m_cfg, Rng(seed), mode > 0 ? pretrained.at(use_gcn) : nullptr,
+            {}});
       }
+    }
+    bench::LockstepGroup group(dst_factory, std::move(specs));
+    const auto runs = group.run(cfg.transfer_steps);
+    std::vector<double> none, ng, gcn;
+    for (int s = 0; s < cfg.seeds; ++s) {
+      none.push_back(runs[static_cast<std::size_t>(3 * s)].best_fom);
+      ng.push_back(runs[static_cast<std::size_t>(3 * s + 1)].best_fom);
+      gcn.push_back(runs[static_cast<std::size_t>(3 * s + 2)].best_fom);
     }
     rows["No Transfer"].push_back(bench::pm(la::mean(none), la::stddev(none)));
     rows["NG-RL Transfer"].push_back(bench::pm(la::mean(ng), la::stddev(ng)));

@@ -145,13 +145,15 @@ class ThreadPoolBackend final : public EvalBackend {
   bool stop_ = false;
 };
 
-// Cache key: the quantized flattened design vector. Matched components and
-// unused action dims are already folded away by refine(), so any two raw
-// action matrices landing on the same legal design produce the same key.
-EvalCache::Key key_of(const circuit::DesignSpace& space,
+// Cache key: the interned circuit tag followed by the quantized flattened
+// design vector. Matched components and unused action dims are already
+// folded away by refine(), so any two raw action matrices landing on the
+// same legal design of the same circuit produce the same key.
+EvalCache::Key key_of(double tag, const circuit::DesignSpace& space,
                       const circuit::DesignParams& p) {
   EvalCache::Key key;
-  key.reserve(static_cast<std::size_t>(space.flat_dim()));
+  key.reserve(1 + static_cast<std::size_t>(space.flat_dim()));
+  key.push_back(tag);
   for (int i = 0; i < space.num_components(); ++i) {
     for (int d = 0; d < space.comp(i).nparams(); ++d) {
       key.push_back(p.v[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]);
@@ -191,9 +193,28 @@ EvalService::~EvalService() = default;
 
 int EvalService::threads() const { return backend_->threads(); }
 
-std::vector<EvalResult> EvalService::eval_batch(
-    const BenchmarkCircuit& bc, std::span<const la::Mat> actions) {
-  const std::size_t n = actions.size();
+double EvalService::circuit_tag(const BenchmarkCircuit& bc) {
+  // Fast path: this exact circuit object was tagged before. Runs once per
+  // job on the sequential submission path, so it must not allocate; the
+  // name re-checks guard against a recycled address.
+  const auto hit = ptr_tags_.find(&bc);
+  if (hit != ptr_tags_.end() && hit->second.name == bc.name &&
+      hit->second.tech == bc.tech.name) {
+    return hit->second.tag;
+  }
+  // '\n' cannot occur in either name, so the concatenation is injective.
+  const std::string id = bc.name + "\n" + bc.tech.name;
+  auto it = tags_.find(id);
+  if (it == tags_.end()) {
+    it = tags_.emplace(id, static_cast<double>(tags_.size())).first;
+  }
+  ptr_tags_[&bc] = TagEntry{bc.name, bc.tech.name, it->second};
+  return it->second;
+}
+
+std::vector<EvalResult> EvalService::eval_batch_multi(
+    std::span<const EvalJob> jobs_in) {
+  const std::size_t n = jobs_in.size();
   std::vector<EvalResult> results(n);
   requested_ += static_cast<long>(n);
 
@@ -214,8 +235,9 @@ std::vector<EvalResult> EvalService::eval_batch(
   slots.reserve(n);
   std::size_t num_jobs = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    results[i].params = bc.space.refine(actions[i]);
-    keys[i] = key_of(bc.space, results[i].params);
+    const BenchmarkCircuit& bc = *jobs_in[i].bc;
+    results[i].params = bc.space.refine(*jobs_in[i].actions);
+    keys[i] = key_of(circuit_tag(bc), bc.space, results[i].params);
     if (const CachedEval* hit = cache_.find(keys[i])) {
       ++cache_hits_;
       results[i].cached = true;
@@ -249,12 +271,13 @@ std::vector<EvalResult> EvalService::eval_batch(
   for (std::size_t i = 0; i < n; ++i) {
     if (!first_of_job[i]) continue;
     Slot& slot = slots[static_cast<std::size_t>(job_of[i])];
+    const BenchmarkCircuit* bc = jobs_in[i].bc;
     const circuit::DesignParams& params = results[i].params;
-    jobs.emplace_back([&bc, &params, &slot] {
+    jobs.emplace_back([bc, &params, &slot] {
       try {
-        circuit::Netlist sized = bc.netlist;
-        bc.space.apply(sized, params);
-        slot.sim.metrics = bc.evaluate(sized);
+        circuit::Netlist sized = bc->netlist;
+        bc->space.apply(sized, params);
+        slot.sim.metrics = bc->evaluate(sized);
         slot.sim.sim_ok = true;
       } catch (const sim::SimError&) {
         slot.sim.sim_ok = false;
@@ -275,7 +298,7 @@ std::vector<EvalResult> EvalService::eval_batch(
   for (std::size_t i = 0; i < n; ++i) {
     if (job_of[i] < 0) continue;  // cache hit, already filled
     const Slot& slot = slots[static_cast<std::size_t>(job_of[i])];
-    apply_fom(bc.fom, slot.sim, results[i]);
+    apply_fom(jobs_in[i].bc->fom, slot.sim, results[i]);
     if (first_of_job[i]) {
       cache_.insert(keys[i], slot.sim);
     } else {
@@ -283,6 +306,15 @@ std::vector<EvalResult> EvalService::eval_batch(
     }
   }
   return results;
+}
+
+std::vector<EvalResult> EvalService::eval_batch(
+    const BenchmarkCircuit& bc, std::span<const la::Mat> actions) {
+  std::vector<EvalJob> jobs(actions.size());
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    jobs[i] = EvalJob{&bc, &actions[i]};
+  }
+  return eval_batch_multi(jobs);
 }
 
 EvalResult EvalService::eval_one(const BenchmarkCircuit& bc,

@@ -20,10 +20,18 @@
 // leaves bit-identical cache state — for every backend and thread count;
 // only wall-clock changes.
 //
-// A service instance is bound to one design space for its lifetime: cache
-// keys are refined parameter vectors and carry no circuit identity. The FoM
-// spec, by contrast, may be recalibrated at any time — the cache stores raw
-// metrics and the FoM is recomputed from the current spec on every hit.
+// A service instance is shareable: hold it in a std::shared_ptr and inject
+// it into every SizingEnv that should draw on the same thread pool and
+// result cache (the lockstep multi-seed sweeps do exactly this). Cache keys
+// are refined parameter vectors prefixed with an interned circuit tag
+// derived from (BenchmarkCircuit::name, Technology::name), so the seed-envs
+// of a sweep — same circuit, same node — share entries while distinct
+// circuits or nodes never alias. Corollary of that identity scheme: two
+// circuits handed to one service with the same (name, tech) pair MUST have
+// identical netlist/space/evaluate. The FoM spec, by contrast, is free to
+// differ per circuit and may be recalibrated at any time — the cache stores
+// raw metrics and the FoM is recomputed from each job's own spec on every
+// hit.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +39,7 @@
 #include <list>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -94,6 +103,15 @@ class EvalBackend {
   [[nodiscard]] virtual int threads() const = 0;
 };
 
+// One evaluation request of a multi-circuit batch. Both pointers are
+// non-owning and must outlive the eval_batch_multi call; distinct jobs may
+// reference the same circuit (the single-circuit eval_batch is exactly
+// that) or different ones (the lockstep sweep engine).
+struct EvalJob {
+  const BenchmarkCircuit* bc = nullptr;
+  const la::Mat* actions = nullptr;
+};
+
 class EvalService {
  public:
   explicit EvalService(EvalServiceConfig cfg = eval_config_from_env());
@@ -101,8 +119,12 @@ class EvalService {
   EvalService(const EvalService&) = delete;
   EvalService& operator=(const EvalService&) = delete;
 
-  // Evaluate a batch of action matrices against `bc` through the refine ->
-  // simulate -> FoM pipeline. Results come back in submission order.
+  // Evaluate a batch of jobs, each against its own circuit, through the
+  // refine -> simulate -> FoM pipeline. Raw metrics are cached under
+  // (circuit tag, refined params); the FoM is applied per job from that
+  // job's own FomSpec. Results come back in submission order.
+  std::vector<EvalResult> eval_batch_multi(std::span<const EvalJob> jobs);
+  // Single-circuit convenience wrappers over eval_batch_multi.
   std::vector<EvalResult> eval_batch(const BenchmarkCircuit& bc,
                                      std::span<const la::Mat> actions);
   EvalResult eval_one(const BenchmarkCircuit& bc, const la::Mat& actions);
@@ -118,9 +140,26 @@ class EvalService {
   [[nodiscard]] long cache_hits() const { return cache_hits_; }
 
  private:
+  // Interned circuit identity (see the header comment): stable small id per
+  // (circuit name, technology name) pair, stored as the leading element of
+  // every cache key.
+  double circuit_tag(const BenchmarkCircuit& bc);
+
+  // Address-keyed fast path for circuit_tag. The names are kept alongside
+  // the tag and re-checked on every hit, so a reused address (a destroyed
+  // circuit's slot recycled for a different one) can never serve a stale
+  // tag — it just falls through to the string-keyed intern table.
+  struct TagEntry {
+    std::string name;
+    std::string tech;
+    double tag = 0.0;
+  };
+
   EvalServiceConfig cfg_;
   std::unique_ptr<EvalBackend> backend_;
   EvalCache cache_;
+  std::unordered_map<std::string, double> tags_;
+  std::unordered_map<const BenchmarkCircuit*, TagEntry> ptr_tags_;
   long requested_ = 0;
   long sims_ = 0;
   long cache_hits_ = 0;

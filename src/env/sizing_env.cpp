@@ -9,9 +9,12 @@ namespace gcnrl::env {
 
 SizingEnv::SizingEnv(BenchmarkCircuit bc, IndexMode mode,
                      EvalServiceConfig ecfg)
-    : bc_(std::move(bc)),
-      mode_(mode),
-      svc_(std::make_unique<EvalService>(ecfg)) {
+    : SizingEnv(std::move(bc), mode, std::make_shared<EvalService>(ecfg)) {}
+
+SizingEnv::SizingEnv(BenchmarkCircuit bc, IndexMode mode,
+                     std::shared_ptr<EvalService> svc)
+    : bc_(std::move(bc)), mode_(mode), svc_(std::move(svc)) {
+  if (!svc_) svc_ = std::make_shared<EvalService>(eval_config_from_env());
   n_ = bc_.netlist.num_design_components();
   adjacency_ = circuit::build_adjacency(bc_.netlist);
   kinds_.reserve(n_);

@@ -78,6 +78,14 @@ class SizingEnv {
  public:
   explicit SizingEnv(BenchmarkCircuit bc, IndexMode mode = IndexMode::OneHot,
                      EvalServiceConfig ecfg = eval_config_from_env());
+  // Shared-service construction: the env evaluates through `svc`, drawing
+  // on its thread pool and result cache alongside every other env holding
+  // the same service (the lockstep multi-seed sweeps build S seed-envs
+  // this way). A null `svc` falls back to a private service built from
+  // eval_config_from_env(). NOTE: with a shared service the eval counters
+  // (num_evals/num_sims/cache_hits) are service-wide, not per-env.
+  SizingEnv(BenchmarkCircuit bc, IndexMode mode,
+            std::shared_ptr<EvalService> svc);
   ~SizingEnv();
   SizingEnv(SizingEnv&&) noexcept;
   SizingEnv& operator=(SizingEnv&&) noexcept;
@@ -123,6 +131,10 @@ class SizingEnv {
   [[nodiscard]] long cache_hits() const;
   [[nodiscard]] int eval_threads() const;
   EvalService& eval_service() { return *svc_; }
+  // The owning handle, for wiring further envs onto the same service.
+  [[nodiscard]] const std::shared_ptr<EvalService>& eval_service_ptr() const {
+    return svc_;
+  }
 
  private:
   void build_state();
@@ -133,7 +145,7 @@ class SizingEnv {
   la::Mat adjacency_;
   la::Mat state_;
   std::vector<circuit::Kind> kinds_;
-  std::unique_ptr<EvalService> svc_;
+  std::shared_ptr<EvalService> svc_;
 };
 
 }  // namespace gcnrl::env

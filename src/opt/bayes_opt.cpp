@@ -84,6 +84,28 @@ std::vector<std::vector<double>> BayesOpt::ask() {
   return {best_x};
 }
 
+std::vector<int> gp_training_subset(const std::vector<double>& ys,
+                                    int max_points) {
+  const int n = static_cast<int>(ys.size());
+  std::vector<int> order(ys.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (n <= max_points) return order;
+  // stable_sort keeps tied objectives in insertion order, so the subset is
+  // independent of how earlier batches were grouped.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return ys[a] > ys[b]; });
+  const int newest = n - 1;
+  std::vector<int> keep;
+  keep.reserve(static_cast<std::size_t>(max_points));
+  for (int idx : order) {
+    if (static_cast<int>(keep.size()) >= max_points - 1) break;
+    if (idx == newest) continue;
+    keep.push_back(idx);
+  }
+  keep.push_back(newest);
+  return keep;
+}
+
 void BayesOpt::tell(const std::vector<std::vector<double>>& xs,
                     const std::vector<double>& ys) {
   for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -93,24 +115,16 @@ void BayesOpt::tell(const std::vector<std::vector<double>>& xs,
   }
   if (static_cast<int>(xs_.size()) < opt_.initial_random) return;
 
-  // Cap the GP training set: keep the best max_gp_points (plus recency —
-  // the newest point always enters).
-  std::vector<std::vector<double>> x_fit = xs_;
-  std::vector<double> y_fit = ys_;
-  if (static_cast<int>(x_fit.size()) > opt_.max_gp_points) {
-    std::vector<int> order(x_fit.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(),
-              [&](int a, int b) { return y_fit[a] > y_fit[b]; });
-    order.resize(opt_.max_gp_points);
-    std::vector<std::vector<double>> xk;
-    std::vector<double> yk;
-    for (int idx : order) {
-      xk.push_back(x_fit[idx]);
-      yk.push_back(y_fit[idx]);
-    }
-    x_fit = std::move(xk);
-    y_fit = std::move(yk);
+  // Cap the GP training set: the best (max_gp_points - 1) by objective
+  // plus the newest point, which always enters (see gp_training_subset).
+  const std::vector<int> keep = gp_training_subset(ys_, opt_.max_gp_points);
+  std::vector<std::vector<double>> x_fit;
+  std::vector<double> y_fit;
+  x_fit.reserve(keep.size());
+  y_fit.reserve(keep.size());
+  for (const int idx : keep) {
+    x_fit.push_back(xs_[static_cast<std::size_t>(idx)]);
+    y_fit.push_back(ys_[static_cast<std::size_t>(idx)]);
   }
   gp_.fit(x_fit, y_fit);
 }

@@ -47,4 +47,13 @@ class BayesOpt : public Optimizer {
 double norm_pdf(double z);
 double norm_cdf(double z);
 
+// Indices of the points to fit the capped GP training set on: all of them
+// when n <= max_points, otherwise the best (max_points - 1) by objective
+// plus the newest point. The newest point always enters the surrogate —
+// dropping it (as a pure best-N rule would whenever the latest sample
+// scores badly) blinds the GP to exactly the region it just probed and
+// makes the acquisition re-propose it.
+std::vector<int> gp_training_subset(const std::vector<double>& ys,
+                                    int max_points);
+
 }  // namespace gcnrl::opt

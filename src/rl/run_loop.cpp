@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
+
+#include "env/eval_service.hpp"
 
 namespace gcnrl::rl {
 
@@ -35,13 +38,53 @@ void RunResult::commit_flat(const circuit::DesignSpace& space,
 RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps) {
   // DDPG is inherently sequential (each action depends on the previous
   // observation), so it steps one evaluation at a time; the EvalService
-  // cache still short-circuits revisited designs.
+  // cache still short-circuits revisited designs. For parallelism across
+  // independent runs, see run_ddpg_lockstep below.
   RunResult out;
   for (int step = 0; step < steps; ++step) {
     const la::Mat actions = agent.act_explore();
     const env::EvalResult r = env.step(actions);
     agent.observe(actions, r.fom);
     out.commit(actions, r);
+  }
+  return out;
+}
+
+std::vector<RunResult> run_ddpg_lockstep(std::span<env::SizingEnv* const> envs,
+                                         std::span<DdpgAgent* const> agents,
+                                         int steps) {
+  if (envs.size() != agents.size()) {
+    throw std::invalid_argument(
+        "run_ddpg_lockstep: envs and agents must pair up");
+  }
+  const std::size_t pairs = envs.size();
+  std::vector<RunResult> out(pairs);
+  if (pairs == 0 || steps <= 0) return out;
+  env::EvalService& svc = envs[0]->eval_service();
+  for (std::size_t s = 1; s < pairs; ++s) {
+    if (&envs[s]->eval_service() != &svc) {
+      throw std::invalid_argument(
+          "run_ddpg_lockstep: all envs must share one EvalService "
+          "(construct them with the shared-service SizingEnv constructor)");
+    }
+  }
+  std::vector<la::Mat> actions(pairs);
+  std::vector<env::EvalJob> jobs(pairs);
+  for (int step = 0; step < steps; ++step) {
+    // Collect phase, pair order: each agent draws from its own RNG stream
+    // exactly as its serial run_ddpg iteration would.
+    for (std::size_t s = 0; s < pairs; ++s) {
+      actions[s] = agents[s]->act_explore();
+      jobs[s] = env::EvalJob{&envs[s]->bench(), &actions[s]};
+    }
+    // One multi-circuit batch: S independent simulations for the pool.
+    const std::vector<env::EvalResult> results = svc.eval_batch_multi(jobs);
+    // Observe phase, pair order: replay pushes and network updates are
+    // strictly per-agent, so sequencing them preserves serial semantics.
+    for (std::size_t s = 0; s < pairs; ++s) {
+      agents[s]->observe(actions[s], results[s].fom);
+      out[s].commit(actions[s], results[s]);
+    }
   }
   return out;
 }
@@ -59,6 +102,9 @@ RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
       if (elapsed > seconds) break;
     }
     auto xs = optimizer.ask();
+    // An exhausted (or buggy) optimizer proposing nothing can never
+    // advance `done`; end the run instead of spinning forever.
+    if (xs.empty()) break;
     // Truncate to the remaining budget: the cost model is "number of
     // simulations", so a population never overshoots the step budget.
     if (static_cast<int>(xs.size()) > steps - done) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,10 +45,30 @@ struct RunResult {
 // Run `agent` for `steps` episodes of Algorithm 1 against `env`.
 RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps);
 
+// Lockstep multi-seed DDPG: step S independent (env, agent) pairs side by
+// side for `steps` episodes. Per step, the S exploration actions are
+// collected in pair order, submitted to the pairs' SHARED EvalService as
+// one multi-circuit batch (this is where the thread pool earns its keep —
+// DDPG is sequential within a seed but the seeds are independent), and the
+// observe()/commit() updates then run sequentially in pair order. Each
+// agent's RNG stream, replay history, and reward sequence are exactly what
+// serial run_ddpg would produce, so per-pair results are bit-identical to
+// S serial runs at any GCNRL_EVAL_THREADS.
+//
+// Requirements: envs.size() == agents.size(), and every env must hold the
+// same EvalService (see SizingEnv's shared-service constructor); throws
+// std::invalid_argument otherwise. Pairs may mix circuits, technologies,
+// and FoM specs freely.
+std::vector<RunResult> run_ddpg_lockstep(std::span<env::SizingEnv* const> envs,
+                                         std::span<DdpgAgent* const> agents,
+                                         int steps);
+
 // Run a black-box optimizer (ask/tell on the flattened space). Each ask()
 // population is evaluated as one batch, truncated to the remaining budget.
 // seconds > 0 adds a wall-clock cap checked between batches (the paper's
 // runtime-matching rule for the O(N^3) BO methods); <= 0 means no cap.
+// An empty ask() population ends the run early (the optimizer has nothing
+// left to propose); without this the loop could never advance its budget.
 RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
                         int steps, double seconds = 0.0);
 

@@ -1,18 +1,25 @@
 // Tests for the batched evaluation engine: the LRU result cache, in-batch
 // deduplication, serial-vs-thread-pool equivalence (the determinism
 // guarantee behind GCNRL_EVAL_THREADS), FoM recomputation on cache hits,
-// and an 8-thread run over a real benchmark circuit (the TSan target).
+// the shared-service / multi-circuit batch API behind the lockstep
+// multi-seed sweeps, and an 8-thread run over a real benchmark circuit
+// (the TSan target).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "circuits/benchmark_circuits.hpp"
 #include "env/eval_service.hpp"
 #include "env/sizing_env.hpp"
 #include "opt/cma_es.hpp"
+#include "rl/ddpg.hpp"
 #include "rl/run_loop.hpp"
 #include "sim/mna.hpp"
 #include "test_helpers.hpp"
@@ -351,6 +358,204 @@ TEST(EvalConfig, DefaultConstructedEnvFollowsEnvKnob) {
   const auto rs = e.step_batch(batch);  // drive the configured backend
   EXPECT_EQ(rs.size(), batch.size());
   EXPECT_EQ(e.num_evals(), 8);
+}
+
+// --- shared service / multi-circuit batches / lockstep -------------------
+
+TEST(EvalService, SharedCacheHitAccountingAcrossSeedEnvs) {
+  // Two seed-envs of the same circuit on one service: a design simulated
+  // through one env is a cache hit through the other, and the counters are
+  // service-wide.
+  const auto svc = std::make_shared<env::EvalService>(config(1, 64));
+  env::SizingEnv a(make_synthetic(), env::IndexMode::OneHot, svc);
+  env::SizingEnv b(make_synthetic(), env::IndexMode::OneHot, svc);
+  Rng rng(51);
+  const la::Mat x = a.random_actions(rng);
+  const auto ra = a.step(x);
+  const auto rb = b.step(x);
+  EXPECT_FALSE(ra.cached);
+  EXPECT_TRUE(rb.cached);
+  EXPECT_DOUBLE_EQ(ra.fom, rb.fom);
+  EXPECT_EQ(ra.metrics, rb.metrics);
+  EXPECT_EQ(svc->requested(), 2);
+  EXPECT_EQ(svc->sims(), 1);
+  EXPECT_EQ(svc->cache_hits(), 1);
+  // Per-env counter accessors read the shared service.
+  EXPECT_EQ(a.num_sims(), 1);
+  EXPECT_EQ(b.cache_hits(), 1);
+}
+
+TEST(EvalService, MultiBatchAppliesEachJobsOwnFomSpec) {
+  // Same circuit identity, different FoM specs: one simulation, two FoMs.
+  auto bc_plain = make_synthetic();
+  auto bc_heavy = make_synthetic();
+  bc_heavy.fom.set_weight("speed", 10.0);
+  env::EvalService svc(config(2, 64));
+  // Human-expert design: guaranteed to simulate (W above the synthetic
+  // convergence threshold), so the two FoMs must genuinely differ.
+  const la::Mat x = bc_plain.space.actions_from_params(bc_plain.human_expert);
+  const std::vector<env::EvalJob> jobs = {{&bc_plain, &x}, {&bc_heavy, &x}};
+  const auto rs = svc.eval_batch_multi(jobs);
+  ASSERT_EQ(rs.size(), 2u);
+  ASSERT_TRUE(rs[0].sim_ok);
+  EXPECT_EQ(rs[0].metrics, rs[1].metrics);  // raw metrics shared
+  EXPECT_NE(rs[0].fom, rs[1].fom);          // FoM applied per job
+  EXPECT_EQ(svc.sims(), 1);                 // in-batch dedupe across jobs
+  EXPECT_EQ(svc.cache_hits(), 1);
+}
+
+TEST(EvalService, DistinctCircuitsNeverAliasInTheSharedCache) {
+  // Two circuits with different identities but identical action vectors:
+  // the circuit tag keeps their cache entries apart.
+  auto bc_a = make_synthetic();
+  auto bc_b = make_synthetic();
+  bc_b.name = "Synthetic-B";
+  bc_b.evaluate = [](const gcnrl::circuit::Netlist& sized) {
+    const auto& mos = sized.mosfets()[0];
+    env::MetricMap m;
+    m["speed"] = 2.0 * mos.w / mos.l;  // deliberately different metrics
+    m["cost"] = 1.0;
+    return m;
+  };
+  env::EvalService svc(config(1, 64));
+  const la::Mat x = bc_a.space.actions_from_params(bc_a.human_expert);
+  const std::vector<env::EvalJob> jobs = {{&bc_a, &x}, {&bc_b, &x}};
+  const auto rs = svc.eval_batch_multi(jobs);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(svc.sims(), 2);  // no dedupe across distinct circuit tags
+  EXPECT_EQ(svc.cache_hits(), 0);
+  ASSERT_TRUE(rs[0].sim_ok);
+  ASSERT_TRUE(rs[1].sim_ok);
+  EXPECT_NE(rs[0].metrics, rs[1].metrics);
+}
+
+namespace {
+
+// One serial run_ddpg per seed, each on its own private env — the
+// reference the lockstep engine must reproduce bit-for-bit.
+std::vector<gcnrl::rl::RunResult> serial_ddpg_runs(
+    const gcnrl::rl::DdpgConfig& cfg, const std::vector<std::uint64_t>& seeds,
+    int steps) {
+  std::vector<gcnrl::rl::RunResult> out;
+  for (const std::uint64_t seed : seeds) {
+    env::SizingEnv e(make_synthetic(), env::IndexMode::OneHot,
+                     config(1, 256));
+    gcnrl::rl::DdpgAgent agent(e.state(), e.adjacency(), e.kinds(), cfg,
+                               Rng(seed));
+    out.push_back(gcnrl::rl::run_ddpg(e, agent, steps));
+  }
+  return out;
+}
+
+// A DDPG config small enough for the fast label (the default 7-layer GCN
+// with hidden 32 is overkill for the 3-component synthetic circuit).
+gcnrl::rl::DdpgConfig tiny_ddpg_config() {
+  gcnrl::rl::DdpgConfig cfg;
+  cfg.hidden = 8;
+  cfg.gcn_layers = 2;
+  cfg.batch = 8;
+  cfg.warmup = 10;
+  cfg.updates_per_step = 2;
+  return cfg;
+}
+
+void expect_lockstep_matches_serial(int threads) {
+  const std::vector<std::uint64_t> seeds = {1000, 8919, 16838};
+  const int steps = 30;
+  const gcnrl::rl::DdpgConfig cfg = tiny_ddpg_config();
+  const auto serial = serial_ddpg_runs(cfg, seeds, steps);
+
+  const auto svc =
+      std::make_shared<env::EvalService>(config(threads, 256));
+  std::vector<std::unique_ptr<env::SizingEnv>> envs;
+  std::vector<std::unique_ptr<gcnrl::rl::DdpgAgent>> agents;
+  std::vector<env::SizingEnv*> env_ptrs;
+  std::vector<gcnrl::rl::DdpgAgent*> agent_ptrs;
+  for (const std::uint64_t seed : seeds) {
+    envs.push_back(std::make_unique<env::SizingEnv>(
+        make_synthetic(), env::IndexMode::OneHot, svc));
+    agents.push_back(std::make_unique<gcnrl::rl::DdpgAgent>(
+        envs.back()->state(), envs.back()->adjacency(), envs.back()->kinds(),
+        cfg, Rng(seed)));
+    env_ptrs.push_back(envs.back().get());
+    agent_ptrs.push_back(agents.back().get());
+  }
+  const auto lockstep =
+      gcnrl::rl::run_ddpg_lockstep(env_ptrs, agent_ptrs, steps);
+
+  ASSERT_EQ(lockstep.size(), serial.size());
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    ASSERT_EQ(lockstep[s].best_trace.size(), serial[s].best_trace.size());
+    for (std::size_t i = 0; i < serial[s].best_trace.size(); ++i) {
+      // Bit-identical, not just close: exact double equality.
+      EXPECT_EQ(lockstep[s].best_trace[i], serial[s].best_trace[i])
+          << "seed " << seeds[s] << " step " << i;
+    }
+    EXPECT_EQ(lockstep[s].best_fom, serial[s].best_fom);
+    EXPECT_EQ(lockstep[s].best_metrics, serial[s].best_metrics);
+    EXPECT_EQ(lockstep[s].evals, serial[s].evals);
+  }
+}
+
+}  // namespace
+
+// The acceptance criterion of the lockstep engine: per-seed best_trace
+// vectors bit-identical to serial run_ddpg, at 1 and at 4 eval threads.
+TEST(Lockstep, DdpgTracesMatchSerialAtOneThread) {
+  expect_lockstep_matches_serial(1);
+}
+
+TEST(Lockstep, DdpgTracesMatchSerialAtFourThreads) {
+  expect_lockstep_matches_serial(4);
+}
+
+TEST(Lockstep, RejectsEnvsOnDifferentServices) {
+  env::SizingEnv a(make_synthetic(), env::IndexMode::OneHot, config(1, 16));
+  env::SizingEnv b(make_synthetic(), env::IndexMode::OneHot, config(1, 16));
+  const gcnrl::rl::DdpgConfig cfg = tiny_ddpg_config();
+  gcnrl::rl::DdpgAgent aa(a.state(), a.adjacency(), a.kinds(), cfg, Rng(1));
+  gcnrl::rl::DdpgAgent ab(b.state(), b.adjacency(), b.kinds(), cfg, Rng(2));
+  std::vector<env::SizingEnv*> envs = {&a, &b};
+  std::vector<gcnrl::rl::DdpgAgent*> agents = {&aa, &ab};
+  EXPECT_THROW(gcnrl::rl::run_ddpg_lockstep(envs, agents, 1),
+               std::invalid_argument);
+  std::vector<gcnrl::rl::DdpgAgent*> just_one = {&aa};
+  EXPECT_THROW(gcnrl::rl::run_ddpg_lockstep(envs, just_one, 1),
+               std::invalid_argument);
+}
+
+namespace {
+
+// Optimizer stub whose population dries up after two ask() calls — the
+// regression shape for the run_optimizer infinite-loop fix.
+class DryingOptimizer final : public gcnrl::opt::Optimizer {
+ public:
+  explicit DryingOptimizer(int dim) : dim_(dim) {}
+  std::vector<std::vector<double>> ask() override {
+    if (asks_ >= 2) return {};
+    ++asks_;
+    return {std::vector<double>(static_cast<std::size_t>(dim_),
+                                0.1 * asks_)};
+  }
+  void tell(const std::vector<std::vector<double>>&,
+            const std::vector<double>&) override {}
+  [[nodiscard]] int dim() const override { return dim_; }
+
+ private:
+  int dim_;
+  int asks_ = 0;
+};
+
+}  // namespace
+
+TEST(RunOptimizer, TerminatesWhenAskReturnsEmptyPopulation) {
+  // Before the fix this looped forever: an empty population never advances
+  // the step budget.
+  env::SizingEnv e(make_synthetic(), env::IndexMode::OneHot, config(1, 16));
+  DryingOptimizer stub(e.flat_dim());
+  const auto r = gcnrl::rl::run_optimizer(e, stub, 100);
+  EXPECT_EQ(r.evals, 2);
+  EXPECT_EQ(r.best_trace.size(), 2u);
 }
 
 // --- real circuit through the thread pool (TSan coverage) ----------------

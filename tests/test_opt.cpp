@@ -2,7 +2,9 @@
 // Bayesian optimization and MACE on closed-form objectives.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "opt/bayes_opt.hpp"
 #include "opt/cma_es.hpp"
@@ -158,6 +160,37 @@ TEST(BayesOpt, BeatsRandomOnMultimodal1d) {
   const double best_rs = run_loop(rs, 40, f);
   EXPECT_GE(best_bo, best_rs - 0.02);
   EXPECT_GT(best_bo, 0.75);  // global max ~ 0.78 near x ~ 0.28
+}
+
+TEST(BayesOpt, GpSubsetWithinCapKeepsEveryPoint) {
+  const auto keep = opt::gp_training_subset({3.0, 1.0, 2.0}, 5);
+  EXPECT_EQ(keep, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BayesOpt, GpSubsetAlwaysAdmitsTheNewestPoint) {
+  // Regression: the capped GP training set used to keep only the top-N by
+  // objective, so a badly scoring newest point never entered the surrogate
+  // and the GP stayed blind to the region it just probed. The subset must
+  // be the best (max - 1) points plus the newest, even when the newest is
+  // the worst sample seen so far.
+  const std::vector<double> ys = {5.0, 4.0, 3.0, 2.0, -10.0};
+  const auto keep = opt::gp_training_subset(ys, 3);
+  ASSERT_EQ(keep.size(), 3u);
+  // Best two by objective...
+  EXPECT_NE(std::find(keep.begin(), keep.end(), 0), keep.end());
+  EXPECT_NE(std::find(keep.begin(), keep.end(), 1), keep.end());
+  // ...plus the newest (worst) point, which the old best-N rule dropped.
+  EXPECT_EQ(keep.back(), 4);
+}
+
+TEST(BayesOpt, GpSubsetDoesNotDuplicateANewestBestPoint) {
+  // Newest point is also the best: it must appear exactly once and the
+  // remaining slots go to the next-best points.
+  const std::vector<double> ys = {1.0, 2.0, 9.0};
+  const auto keep = opt::gp_training_subset(ys, 2);
+  ASSERT_EQ(keep.size(), 2u);
+  EXPECT_EQ(std::count(keep.begin(), keep.end(), 2), 1);
+  EXPECT_NE(std::find(keep.begin(), keep.end(), 1), keep.end());
 }
 
 TEST(BayesOpt, ExpectedImprovementNonNegative) {
