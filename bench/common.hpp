@@ -2,16 +2,22 @@
 //
 // Provides the method registry of Table I (Random / ES / BO / MACE /
 // NG-RL / GCN-RL + the human anchor), seed sweeps with mean +/- std
-// aggregation, and the paper's runtime-matching rule for the O(N^3) BO
-// methods ("for BO and MACE it is impossible to run 10000 steps ... we
-// ran them for the same runtime"): BO/MACE runs stop at the wall-clock
-// budget of the corresponding RL run if they have not exhausted their
-// step budget first.
+// aggregation, and a deterministic rendering of the paper's
+// budget-matching rule for the O(N^3) BO methods ("for BO and MACE it is
+// impossible to run 10000 steps ... we ran them for the same runtime"):
+// the paper's true cost unit is the simulation, so BO/MACE runs stop at
+// the SIMULATED-COST budget of the corresponding ES run (its
+// RunResult::sims — the simulations an isolated ES run would execute)
+// instead of at a nondeterministic wall-clock deadline. Budgets in
+// simulation counts are pure functions of the proposal streams, so every
+// harness table is bit-reproducible run-to-run, at any GCNRL_EVAL_THREADS
+// or GCNRL_EVAL_CACHE, and regardless of which methods warmed a shared
+// result cache first.
 #pragma once
 
-#include <chrono>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -114,51 +120,71 @@ class LockstepGroup {
   std::vector<std::unique_ptr<rl::DdpgAgent>> agents_;
 };
 
-// Thin forwarder to rl::run_optimizer's deadline overload: stops early
-// once `seconds` elapse (checked between batches). Kept as a named entry
-// point because "the timed BO/MACE budget" is a concept of the paper's
-// protocol, not of the RL layer.
-rl::RunResult run_optimizer_timed(env::SizingEnv& env, opt::Optimizer& opt,
-                                  int steps, double seconds);
+// Thin forwarder to rl::run_optimizer's simulated-cost overload: stops
+// once `sim_budget` simulations have been charged (<= 0: step budget
+// only). Kept as a named entry point because "the budgeted BO/MACE run"
+// is a concept of the paper's protocol, not of the RL layer. Replaces the
+// retired run_optimizer_timed wall-clock deadline.
+rl::RunResult run_optimizer_budgeted(env::SizingEnv& env, opt::Optimizer& opt,
+                                     int steps, long sim_budget);
+
+// The black-box baseline behind a method name ("ES" / "BO" / "MACE").
+std::unique_ptr<opt::Optimizer> make_optimizer(const std::string& method,
+                                               int dim, Rng rng);
 
 // One-line description of the evaluation engine configuration (thread
 // count + cache capacity from GCNRL_EVAL_THREADS / GCNRL_EVAL_CACHE),
 // printed by every harness so logged tables are self-describing.
 std::string eval_banner();
 
-struct MethodRun {
-  rl::RunResult result;
-  double seconds = 0.0;
-};
+// One-line service-usage summary (service-wide totals — per-seed numbers
+// come from the per-env counters / RunResult, never from these totals).
+std::string service_usage(const env::EvalService& svc);
 
-// One (method, seed) run. `rl_seconds` is the wall-clock of the matching
-// RL run used as the BO/MACE runtime budget (<=0: no cap). A non-null
-// `svc` overrides the factory's service for this run's env.
-MethodRun run_method(const std::string& method, const EnvFactory& factory,
-                     int steps, int warmup, std::uint64_t seed,
-                     double rl_seconds, const rl::DdpgConfig& base_cfg = {},
-                     std::shared_ptr<env::EvalService> svc = nullptr);
+// One (method, seed) run. `sim_budget` is the simulated cost of the
+// matching ES run (RunResult::sims), used as the BO/MACE stopping budget
+// (<= 0: step budget only; other methods ignore it). A non-null `svc`
+// overrides the factory's service for this run's env.
+rl::RunResult run_method(const std::string& method, const EnvFactory& factory,
+                         int steps, int warmup, std::uint64_t seed,
+                         long sim_budget, const rl::DdpgConfig& base_cfg = {},
+                         std::shared_ptr<env::EvalService> svc = nullptr);
 
-// Seed sweep: returns best-FoM per seed plus the traces.
+// Seed sweep: returns best-FoM per seed plus the traces and the per-seed
+// simulated cost (RunResult::sims — the budget currency).
 //
 // All S seeds share one EvalService (the factory's, or a sweep-local one
-// when the factory has none). The RL methods run through
-// rl::run_ddpg_lockstep — S (env, agent) pairs stepped side by side, one
-// S-wide simulation batch per step — so GCNRL_EVAL_THREADS parallelizes
-// across seeds; per-seed traces are bit-identical to the serial per-seed
-// loop. The black-box methods keep their per-seed loop (ask/tell is
-// sequential within a seed) but batch each population on the shared
-// service and share its result cache across seeds.
+// when the factory has none) and advance in lockstep: the RL methods
+// through rl::run_ddpg_lockstep, the ask/tell black-box methods
+// (ES/BO/MACE) through rl::run_optimizer_lockstep — S proposers merging
+// each round's populations into one S-wide simulation batch — so
+// GCNRL_EVAL_THREADS parallelizes across seeds for every method. Random
+// keeps its per-seed loop (its 64-design chunks already saturate the
+// pool). Per-seed traces are bit-identical to serial per-seed runs.
+//
+// `sim_budgets`, when non-empty, must hold one simulated-cost budget per
+// seed (BO/MACE: seed s stops at sim_budgets[s], the sims of the matching
+// ES seed); empty means step budgets only.
 struct SweepResult {
   std::vector<double> best;             // per seed
   std::vector<std::vector<double>> traces;
+  std::vector<long> sims;               // per-seed simulated cost
   double mean = 0.0;
   double stddev = 0.0;
-  double rl_seconds = 0.0;  // mean per-seed runtime
 };
 SweepResult sweep(const std::string& method, const EnvFactory& factory,
-                  int steps, int warmup, int seeds, double rl_seconds,
+                  int steps, int warmup, int seeds,
+                  std::span<const long> sim_budgets = {},
                   const rl::DdpgConfig& base_cfg = {});
+
+// sweep() plus the budget-chain rule in one place: an ES sweep records its
+// per-seed sims into `es_sims`, BO/MACE sweeps consume them as stopping
+// budgets, every other method ignores the chain. Call per method, in an
+// order that puts ES before BO/MACE.
+SweepResult sweep_chained(const std::string& method, const EnvFactory& factory,
+                          int steps, int warmup, int seeds,
+                          std::vector<long>& es_sims,
+                          const rl::DdpgConfig& base_cfg = {});
 
 // "mean +/- std" cell formatting used by all tables.
 std::string pm(double mean, double stddev, int precision = 3);

@@ -23,13 +23,12 @@ int main() {
     bench::EnvFactory factory(circuit_name, tech, env::IndexMode::OneHot,
                               cfg.calib_samples, rng, svc);
     std::map<std::string, std::vector<double>> mean_trace;
-    double rl_seconds = 0.0;
+    std::vector<long> es_sims;  // per-seed BO/MACE simulated-cost budgets
     for (const auto& method : bench::kMethods) {
-      const auto sw = bench::sweep(method, factory, cfg.steps, cfg.warmup,
-                                   seeds, rl_seconds);
-      if (method == "ES") rl_seconds = sw.rl_seconds;
+      const auto sw = bench::sweep_chained(method, factory, cfg.steps,
+                                           cfg.warmup, seeds, es_sims);
       // Mean best-so-far trace across seeds (traces may differ in length
-      // for the runtime-capped BO methods; use the shortest).
+      // for the sim-budgeted BO methods; use the shortest).
       std::size_t len = sw.traces.front().size();
       for (const auto& t : sw.traces) len = std::min(len, t.size());
       std::vector<double> mean(len, 0.0);
@@ -60,6 +59,7 @@ int main() {
     }
     std::printf("  wrote %s\n", path.c_str());
   }
+  std::printf("%s\n", bench::service_usage(*svc).c_str());
   std::printf(
       "\nPaper shape: GCN-RL's curve rises fastest and ends highest; NG-RL\n"
       "close behind; black-box methods below; random lowest.\n");

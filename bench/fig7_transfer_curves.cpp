@@ -57,6 +57,7 @@ int main() {
                 node.c_str(), none.best_fom, xfer.best_fom, path.c_str());
     std::fflush(stdout);
   }
+  std::printf("%s\n", bench::service_usage(*svc).c_str());
   std::printf(
       "\nPaper shape: identical warm-up, then the transfer curve climbs\n"
       "faster and converges higher on every node.\n");

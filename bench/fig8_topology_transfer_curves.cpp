@@ -75,6 +75,7 @@ int main() {
                 curves["gcn_transfer"].best_fom, path.c_str());
     std::fflush(stdout);
   }
+  std::printf("%s\n", bench::service_usage(*svc).c_str());
   std::printf(
       "\nPaper shape: GCN-RL transfer converges higher; NG-RL transfer is\n"
       "barely distinguishable from no transfer.\n");

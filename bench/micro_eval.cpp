@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "env/eval_service.hpp"
 #include "env/sizing_env.hpp"
+#include "opt/bayes_opt.hpp"
 #include "rl/ddpg.hpp"
 #include "rl/run_loop.hpp"
 
@@ -105,6 +106,41 @@ void BM_DdpgLockstep_TwoTia(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kSeeds * kSteps);
 }
 BENCHMARK(BM_DdpgLockstep_TwoTia)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Lockstep multi-seed black-box throughput: 4 (env, BayesOpt) pairs
+// sharing one EvalService, stepped via rl::run_optimizer_lockstep — the
+// driver behind the budgeted BO/MACE seed sweeps. items_per_second counts
+// seed-evaluations (cache disabled). Ask/tell is sequential within a
+// seed, so just like the DDPG row this is the cross-seed scaling number:
+// multi-thread rows should pull ahead of serial on an N-core machine.
+void BM_BayesOptLockstep_TwoTia(benchmark::State& state) {
+  env::EvalServiceConfig cfg;
+  cfg.threads = static_cast<int>(state.range(0));
+  cfg.cache_capacity = 0;
+  constexpr int kSeeds = 4;
+  constexpr int kSteps = 8;
+  for (auto _ : state) {
+    state.PauseTiming();  // fresh optimizers/envs: identical work per iter
+    const auto svc = std::make_shared<env::EvalService>(cfg);
+    std::vector<std::unique_ptr<env::SizingEnv>> envs;
+    std::vector<std::unique_ptr<opt::BayesOpt>> opts;
+    std::vector<rl::OptimizerPair> pairs;
+    for (int s = 0; s < kSeeds; ++s) {
+      envs.push_back(std::make_unique<env::SizingEnv>(
+          circuits::make_two_tia(kTech), env::IndexMode::OneHot, svc));
+      opts.push_back(std::make_unique<opt::BayesOpt>(envs.back()->flat_dim(),
+                                                     Rng(200 + s)));
+      pairs.push_back(rl::OptimizerPair{envs.back().get(), opts.back().get(),
+                                        kSteps, -1});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        rl::run_optimizer_lockstep(pairs).front().best_fom);
+  }
+  state.SetItemsProcessed(state.iterations() * kSeeds * kSteps);
+}
+BENCHMARK(BM_BayesOptLockstep_TwoTia)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

@@ -51,18 +51,16 @@ int main() {
     const auto h = env->evaluate_params(env->bench().human_expert);
     table.add_row(metric_row("Human", h.metrics, h.fom));
   }
-  double rl_seconds = 0.0;
+  long es_sims = 0;  // BO/MACE stop at the ES run's simulated cost
   for (const auto& method : bench::kMethods) {
     // Single representative run per method for the metric breakdown (the
     // FoM statistics live in Table I); use the first sweep seed.
-    auto run = bench::run_method(method, factory, cfg.steps, cfg.warmup,
-                                 1000, rl_seconds);
-    if (method == "ES") rl_seconds = run.seconds;
-    auto env = factory.make();
-    table.add_row(metric_row(method, run.result.best_metrics,
-                             run.result.best_fom));
-    std::printf("  %s done (best FoM %.3f)\n", method.c_str(),
-                run.result.best_fom);
+    const auto run = bench::run_method(method, factory, cfg.steps,
+                                       cfg.warmup, 1000, es_sims);
+    if (method == "ES") es_sims = run.sims;
+    table.add_row(metric_row(method, run.best_metrics, run.best_fom));
+    std::printf("  %s done (best FoM %.3f, %ld sims)\n", method.c_str(),
+                run.best_fom, run.sims);
     std::fflush(stdout);
   }
 
@@ -96,6 +94,7 @@ int main() {
 
   std::printf("\n");
   table.print();
+  std::printf("%s\n", bench::service_usage(*svc).c_str());
   std::printf(
       "\nPaper reference (GCN-RL row): BW 1.03 GHz, Gain 167 x100ohm, Power "
       "3.44 mW,\nNoise 3.72 pA/rtHz, Peaking 0.0003 dB, GBW 17.2 THz*ohm, "

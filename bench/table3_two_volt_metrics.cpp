@@ -48,19 +48,19 @@ int main() {
     const auto h = env->evaluate_params(env->bench().human_expert);
     table.add_row(metric_row("Human", h.metrics, h.fom));
   }
-  double rl_seconds = 0.0;
+  long es_sims = 0;  // BO/MACE stop at the ES run's simulated cost
   for (const auto& method : bench::kMethods) {
-    auto run = bench::run_method(method, factory, cfg.steps, cfg.warmup,
-                                 1000, rl_seconds);
-    if (method == "ES") rl_seconds = run.seconds;
-    table.add_row(metric_row(method, run.result.best_metrics,
-                             run.result.best_fom));
-    std::printf("  %s done (best FoM %.3f)\n", method.c_str(),
-                run.result.best_fom);
+    const auto run = bench::run_method(method, factory, cfg.steps,
+                                       cfg.warmup, 1000, es_sims);
+    if (method == "ES") es_sims = run.sims;
+    table.add_row(metric_row(method, run.best_metrics, run.best_fom));
+    std::printf("  %s done (best FoM %.3f, %ld sims)\n", method.c_str(),
+                run.best_fom, run.sims);
     std::fflush(stdout);
   }
   std::printf("\n");
   table.print();
+  std::printf("%s\n", bench::service_usage(*svc).c_str());
   std::printf(
       "\nPaper reference (GCN-RL row): BW 84.7 MHz, CPM 180, DPM 96.3, "
       "Power 2.56e-4 W,\nNoise 58.7, Gain 29.4 x1000, GBW 2.57 THz, FoM "

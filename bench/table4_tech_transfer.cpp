@@ -84,6 +84,7 @@ int main() {
 
   std::printf("\n");
   table.print();
+  std::printf("%s\n", bench::service_usage(*svc).c_str());
   std::printf(
       "\nPaper reference: transfer beats no-transfer on every node, e.g.\n"
       "Two-TIA 65nm: 2.36 -> 2.52; Three-TIA 65nm: 0.55 -> 1.20.\n");

@@ -97,6 +97,7 @@ int main() {
   table.add_row(rows["GCN-RL Transfer"]);
   std::printf("\n");
   table.print();
+  std::printf("%s\n", bench::service_usage(*svc).c_str());
   std::printf(
       "\nPaper reference: GCN-RL transfer 0.78 / 2.45 beats NG-RL transfer\n"
       "0.62 / 2.40 which is on par with no transfer 0.63 / 2.37.\n");

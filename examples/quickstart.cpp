@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
   rl::DdpgAgent agent(env.state(), env.adjacency(), env.kinds(), cfg,
                       rng.split());
   std::printf("Training GCN-RL for %d episodes...\n", steps);
-  // Counter snapshot: num_evals/num_sims/cache_hits are EvalService
-  // lifetime totals (calibration included), so report training-run deltas.
+  // Counter snapshot: num_evals/num_sims/cache_hits are env-lifetime
+  // totals (calibration included), so report training-run deltas.
   const long evals0 = env.num_evals();
   const long sims0 = env.num_sims();
   const long hits0 = env.cache_hits();

@@ -145,20 +145,28 @@ class ThreadPoolBackend final : public EvalBackend {
   bool stop_ = false;
 };
 
-// Cache key: the interned circuit tag followed by the quantized flattened
-// design vector. Matched components and unused action dims are already
-// folded away by refine(), so any two raw action matrices landing on the
-// same legal design of the same circuit produce the same key.
-EvalCache::Key key_of(double tag, const circuit::DesignSpace& space,
-                      const circuit::DesignParams& p) {
-  EvalCache::Key key;
-  key.reserve(1 + static_cast<std::size_t>(space.flat_dim()));
-  key.push_back(tag);
+// The design part of a cache key: matched components and unused action
+// dims are already folded away by refine(), so any two raw action
+// matrices landing on the same legal design append the same values. One
+// definition shared by key_of and design_key keeps the run loops'
+// run-local ledgers keyed exactly like the cache.
+void append_design(EvalCache::Key& key, const circuit::DesignSpace& space,
+                   const circuit::DesignParams& p) {
   for (int i = 0; i < space.num_components(); ++i) {
     for (int d = 0; d < space.comp(i).nparams(); ++d) {
       key.push_back(p.v[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]);
     }
   }
+}
+
+// Cache key: the interned circuit tag followed by the quantized flattened
+// design vector.
+EvalCache::Key key_of(double tag, const circuit::DesignSpace& space,
+                      const circuit::DesignParams& p) {
+  EvalCache::Key key;
+  key.reserve(1 + static_cast<std::size_t>(space.flat_dim()));
+  key.push_back(tag);
+  append_design(key, space, p);
   return key;
 }
 
@@ -178,6 +186,14 @@ void apply_fom(const FomSpec& fom, const CachedEval& sim, EvalResult& out) {
 
 }  // namespace
 
+EvalCache::Key design_key(const circuit::DesignSpace& space,
+                          const circuit::DesignParams& p) {
+  EvalCache::Key key;
+  key.reserve(static_cast<std::size_t>(space.flat_dim()));
+  append_design(key, space, p);
+  return key;
+}
+
 // --- EvalService ---------------------------------------------------------
 
 EvalService::EvalService(EvalServiceConfig cfg)
@@ -192,6 +208,11 @@ EvalService::EvalService(EvalServiceConfig cfg)
 EvalService::~EvalService() = default;
 
 int EvalService::threads() const { return backend_->threads(); }
+
+int EvalService::new_attribution() {
+  attr_counters_.emplace_back();
+  return static_cast<int>(attr_counters_.size()) - 1;
+}
 
 double EvalService::circuit_tag(const BenchmarkCircuit& bc) {
   // Fast path: this exact circuit object was tagged before. Runs once per
@@ -216,7 +237,14 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
     std::span<const EvalJob> jobs_in) {
   const std::size_t n = jobs_in.size();
   std::vector<EvalResult> results(n);
-  requested_ += static_cast<long>(n);
+  // Counter bumps go to the service-wide totals and, when the job carries
+  // an attribution slot, to that slot as well.
+  const auto count = [this](int attr, long EvalCounters::* field) {
+    ++(total_.*field);
+    if (attr >= 0) {
+      ++(attr_counters_.at(static_cast<std::size_t>(attr)).*field);
+    }
+  };
 
   // Submission pass (sequential, submission order): refine, look up the
   // cache, dedupe repeats within the batch, and schedule fresh designs.
@@ -236,10 +264,11 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
   std::size_t num_jobs = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const BenchmarkCircuit& bc = *jobs_in[i].bc;
+    count(jobs_in[i].attr, &EvalCounters::requested);
     results[i].params = bc.space.refine(*jobs_in[i].actions);
     keys[i] = key_of(circuit_tag(bc), bc.space, results[i].params);
     if (const CachedEval* hit = cache_.find(keys[i])) {
-      ++cache_hits_;
+      count(jobs_in[i].attr, &EvalCounters::cache_hits);
       results[i].cached = true;
       apply_fom(bc.fom, *hit, results[i]);
       continue;
@@ -252,7 +281,7 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
         // Same legal design earlier in this batch: share its simulation
         // (the serial engine would have hit the entry the first occurrence
         // inserts at commit time).
-        ++cache_hits_;
+        count(jobs_in[i].attr, &EvalCounters::cache_hits);
         results[i].cached = true;
         job_of[i] = dup->second;
         continue;
@@ -263,7 +292,7 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
     if (cache_.capacity() > 0) scheduled.emplace(keys[i], job_of[i]);
     slots.emplace_back();
     ++num_jobs;
-    ++sims_;
+    count(jobs_in[i].attr, &EvalCounters::sims);
   }
   // Jobs are pure functions of (netlist, params): each copies the netlist,
   // applies its parameters, and runs the measurement closure. SimError is
@@ -309,17 +338,17 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
 }
 
 std::vector<EvalResult> EvalService::eval_batch(
-    const BenchmarkCircuit& bc, std::span<const la::Mat> actions) {
+    const BenchmarkCircuit& bc, std::span<const la::Mat> actions, int attr) {
   std::vector<EvalJob> jobs(actions.size());
   for (std::size_t i = 0; i < actions.size(); ++i) {
-    jobs[i] = EvalJob{&bc, &actions[i]};
+    jobs[i] = EvalJob{&bc, &actions[i], attr};
   }
   return eval_batch_multi(jobs);
 }
 
 EvalResult EvalService::eval_one(const BenchmarkCircuit& bc,
-                                 const la::Mat& actions) {
-  return eval_batch(bc, std::span<const la::Mat>(&actions, 1)).front();
+                                 const la::Mat& actions, int attr) {
+  return eval_batch(bc, std::span<const la::Mat>(&actions, 1), attr).front();
 }
 
 }  // namespace gcnrl::env

@@ -103,13 +103,36 @@ class EvalBackend {
   [[nodiscard]] virtual int threads() const = 0;
 };
 
+// Canonical flat key of a refined design (no circuit tag): matched
+// components and unused action dims are folded away via the space's
+// per-component parameter counts, so two raw action matrices landing on
+// the same legal design produce bit-identical keys. This is the design
+// part of the service's cache key, exported so the run loops can reuse the
+// key machinery for run-local simulated-cost accounting.
+EvalCache::Key design_key(const circuit::DesignSpace& space,
+                          const circuit::DesignParams& p);
+
 // One evaluation request of a multi-circuit batch. Both pointers are
 // non-owning and must outlive the eval_batch_multi call; distinct jobs may
 // reference the same circuit (the single-circuit eval_batch is exactly
-// that) or different ones (the lockstep sweep engine).
+// that) or different ones (the lockstep sweep engine). `attr` is an
+// optional attribution slot from EvalService::new_attribution(): the job
+// is counted against that slot's requested/sims/cache_hits counters in
+// addition to the service-wide ones (-1: service-wide only).
 struct EvalJob {
   const BenchmarkCircuit* bc = nullptr;
   const la::Mat* actions = nullptr;
+  int attr = -1;
+};
+
+// Counter triple kept service-wide and per attribution slot. requested =
+// every evaluation asked for; sims = simulator runs actually executed;
+// cache_hits = requested - sims for cache-served results (including
+// in-batch dedupe).
+struct EvalCounters {
+  long requested = 0;
+  long sims = 0;
+  long cache_hits = 0;
 };
 
 class EvalService {
@@ -126,18 +149,32 @@ class EvalService {
   std::vector<EvalResult> eval_batch_multi(std::span<const EvalJob> jobs);
   // Single-circuit convenience wrappers over eval_batch_multi.
   std::vector<EvalResult> eval_batch(const BenchmarkCircuit& bc,
-                                     std::span<const la::Mat> actions);
-  EvalResult eval_one(const BenchmarkCircuit& bc, const la::Mat& actions);
+                                     std::span<const la::Mat> actions,
+                                     int attr = -1);
+  EvalResult eval_one(const BenchmarkCircuit& bc, const la::Mat& actions,
+                      int attr = -1);
 
   [[nodiscard]] int threads() const;
   EvalCache& cache() { return cache_; }
 
   // --- counters ---------------------------------------------------------
-  // requested = every evaluation asked for; sims = simulator runs actually
-  // executed; cache_hits = requested - sims for cache-served results.
-  [[nodiscard]] long requested() const { return requested_; }
-  [[nodiscard]] long sims() const { return sims_; }
-  [[nodiscard]] long cache_hits() const { return cache_hits_; }
+  // Service-wide totals (see EvalCounters for the semantics).
+  [[nodiscard]] long requested() const { return total_.requested; }
+  [[nodiscard]] long sims() const { return total_.sims; }
+  [[nodiscard]] long cache_hits() const { return total_.cache_hits; }
+
+  // Per-job attribution: each SizingEnv (or any other submitter) claims a
+  // slot and stamps it on its jobs, so multi-env harnesses on one shared
+  // service can report per-env counters instead of service-wide totals.
+  // A result served from the cache — even one warmed by another env — is a
+  // cache hit for the requesting slot; only the first requester of a
+  // design is charged the sim.
+  [[nodiscard]] int new_attribution();
+  // By value: new_attribution() may reallocate the slot storage, so a
+  // returned reference could dangle across env constructions.
+  [[nodiscard]] EvalCounters counters(int attr) const {
+    return attr_counters_.at(static_cast<std::size_t>(attr));
+  }
 
  private:
   // Interned circuit identity (see the header comment): stable small id per
@@ -160,9 +197,8 @@ class EvalService {
   EvalCache cache_;
   std::unordered_map<std::string, double> tags_;
   std::unordered_map<const BenchmarkCircuit*, TagEntry> ptr_tags_;
-  long requested_ = 0;
-  long sims_ = 0;
-  long cache_hits_ = 0;
+  EvalCounters total_;
+  std::vector<EvalCounters> attr_counters_;
 };
 
 }  // namespace gcnrl::env

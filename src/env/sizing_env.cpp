@@ -15,6 +15,7 @@ SizingEnv::SizingEnv(BenchmarkCircuit bc, IndexMode mode,
                      std::shared_ptr<EvalService> svc)
     : bc_(std::move(bc)), mode_(mode), svc_(std::move(svc)) {
   if (!svc_) svc_ = std::make_shared<EvalService>(eval_config_from_env());
+  attr_ = svc_->new_attribution();
   n_ = bc_.netlist.num_design_components();
   adjacency_ = circuit::build_adjacency(bc_.netlist);
   kinds_.reserve(n_);
@@ -48,12 +49,12 @@ void SizingEnv::build_state() {
 }
 
 EvalResult SizingEnv::step(const la::Mat& actions) {
-  return svc_->eval_one(bc_, actions);
+  return svc_->eval_one(bc_, actions, attr_);
 }
 
 std::vector<EvalResult> SizingEnv::step_batch(
     std::span<const la::Mat> actions) {
-  return svc_->eval_batch(bc_, actions);
+  return svc_->eval_batch(bc_, actions, attr_);
 }
 
 EvalResult SizingEnv::step_flat(std::span<const double> x) {
@@ -99,9 +100,9 @@ int SizingEnv::calibrate(int samples, Rng& rng) {
   return static_cast<int>(ok.size());
 }
 
-long SizingEnv::num_evals() const { return svc_->requested(); }
-long SizingEnv::num_sims() const { return svc_->sims(); }
-long SizingEnv::cache_hits() const { return svc_->cache_hits(); }
+long SizingEnv::num_evals() const { return svc_->counters(attr_).requested; }
+long SizingEnv::num_sims() const { return svc_->counters(attr_).sims; }
+long SizingEnv::cache_hits() const { return svc_->counters(attr_).cache_hits; }
 int SizingEnv::eval_threads() const { return svc_->threads(); }
 
 }  // namespace gcnrl::env

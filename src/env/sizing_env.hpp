@@ -82,8 +82,9 @@ class SizingEnv {
   // on its thread pool and result cache alongside every other env holding
   // the same service (the lockstep multi-seed sweeps build S seed-envs
   // this way). A null `svc` falls back to a private service built from
-  // eval_config_from_env(). NOTE: with a shared service the eval counters
-  // (num_evals/num_sims/cache_hits) are service-wide, not per-env.
+  // eval_config_from_env(). The env claims its own attribution slot on the
+  // service, so num_evals/num_sims/cache_hits stay per-env even when the
+  // service is shared (service-wide totals live on the service itself).
   SizingEnv(BenchmarkCircuit bc, IndexMode mode,
             std::shared_ptr<EvalService> svc);
   ~SizingEnv();
@@ -125,11 +126,18 @@ class SizingEnv {
   [[nodiscard]] const BenchmarkCircuit& bench() const { return bc_; }
   BenchmarkCircuit& bench() { return bc_; }
   // Requested evaluations (cache hits included), simulator runs actually
-  // executed, and cache-served results. num_evals - num_sims = cache_hits.
+  // executed, and cache-served results, attributed to THIS env's requests
+  // (num_evals - num_sims = cache_hits even on a shared service). A result
+  // another env simulated first is a cache hit here, so on a shared
+  // service num_sims is a wall-clock-cost number, not a budget — the run
+  // loops' RunResult::sims carries the warmth-independent simulated cost.
   [[nodiscard]] long num_evals() const;
   [[nodiscard]] long num_sims() const;
   [[nodiscard]] long cache_hits() const;
   [[nodiscard]] int eval_threads() const;
+  // This env's attribution slot on its service (stamped on every job the
+  // env submits; lockstep drivers stamp it on merged batches too).
+  [[nodiscard]] int eval_attr() const { return attr_; }
   EvalService& eval_service() { return *svc_; }
   // The owning handle, for wiring further envs onto the same service.
   [[nodiscard]] const std::shared_ptr<EvalService>& eval_service_ptr() const {
@@ -146,6 +154,7 @@ class SizingEnv {
   la::Mat state_;
   std::vector<circuit::Kind> kinds_;
   std::shared_ptr<EvalService> svc_;
+  int attr_ = -1;
 };
 
 }  // namespace gcnrl::env

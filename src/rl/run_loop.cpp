@@ -1,12 +1,100 @@
 #include "rl/run_loop.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "env/eval_service.hpp"
 
 namespace gcnrl::rl {
+
+namespace {
+
+// Simulated-cost ledger of one run: charges a simulation the first time
+// the run evaluates a refined design, nothing on within-run repeats. The
+// charge is computed from the run's own history only, so it equals the
+// simulator runs an isolated run (private service, unbounded cache) would
+// execute — independent of shared-cache warmth, cache capacity, and
+// thread count. This is the quantity sim-cost budgets count.
+class SimLedger {
+ public:
+  // Returns 1 when the design is new to this run (one simulation charged).
+  long charge(const circuit::DesignSpace& space,
+              const circuit::DesignParams& params) {
+    return seen_.insert(env::design_key(space, params)).second ? 1 : 0;
+  }
+
+ private:
+  std::unordered_set<env::EvalCache::Key, env::EvalCache::KeyHash,
+                     env::EvalCache::KeyEqual>
+      seen_;
+};
+
+// Partition pair indices by EvalService in first-appearance order: pairs
+// on different services cannot share a batch, so each group runs its own
+// lockstep loop back-to-back. Per-pair results are independent of the
+// grouping (every agent/optimizer stream is strictly per-pair).
+std::vector<std::vector<std::size_t>> group_by_service(
+    std::span<env::SizingEnv* const> envs) {
+  std::vector<env::EvalService*> services;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    env::EvalService* svc = &envs[i]->eval_service();
+    const auto it = std::find(services.begin(), services.end(), svc);
+    if (it == services.end()) {
+      services.push_back(svc);
+      groups.emplace_back();
+      groups.back().push_back(i);
+    } else {
+      groups[static_cast<std::size_t>(it - services.begin())].push_back(i);
+    }
+  }
+  return groups;
+}
+
+void run_ddpg_lockstep_group(std::span<env::SizingEnv* const> envs,
+                             std::span<DdpgAgent* const> agents,
+                             std::span<const int> steps,
+                             const std::vector<std::size_t>& members,
+                             std::vector<RunResult>& out) {
+  env::EvalService& svc = envs[members.front()]->eval_service();
+  int max_steps = 0;
+  for (const std::size_t i : members) max_steps = std::max(max_steps, steps[i]);
+  std::vector<la::Mat> actions(members.size());
+  std::vector<SimLedger> ledgers(members.size());
+  std::vector<env::EvalJob> jobs;
+  std::vector<std::size_t> active;  // slots into `members`, pair order
+  for (int step = 0; step < max_steps; ++step) {
+    // Collect phase, pair order: each still-active agent draws from its
+    // own RNG stream exactly as its serial run_ddpg iteration would; a
+    // pair whose budget is exhausted drops out of the batch entirely
+    // rather than padding it with wasted simulations.
+    jobs.clear();
+    active.clear();
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const std::size_t i = members[k];
+      if (steps[i] <= step) continue;
+      actions[k] = agents[i]->act_explore();
+      jobs.push_back(env::EvalJob{&envs[i]->bench(), &actions[k],
+                                  envs[i]->eval_attr()});
+      active.push_back(k);
+    }
+    // One multi-circuit batch: one independent simulation per active pair.
+    const std::vector<env::EvalResult> results = svc.eval_batch_multi(jobs);
+    // Observe phase, pair order: replay pushes and network updates are
+    // strictly per-agent, so sequencing them preserves serial semantics.
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      const std::size_t k = active[j];
+      const std::size_t i = members[k];
+      agents[i]->observe(actions[k], results[j].fom);
+      out[i].sims +=
+          ledgers[k].charge(envs[i]->bench().space, results[j].params);
+      out[i].commit(actions[k], results[j]);
+    }
+  }
+}
+
+}  // namespace
 
 void RunResult::record(double fom) {
   best_fom = std::max(best_fom, fom);
@@ -41,10 +129,12 @@ RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps) {
   // cache still short-circuits revisited designs. For parallelism across
   // independent runs, see run_ddpg_lockstep below.
   RunResult out;
+  SimLedger ledger;
   for (int step = 0; step < steps; ++step) {
     const la::Mat actions = agent.act_explore();
     const env::EvalResult r = env.step(actions);
     agent.observe(actions, r.fom);
+    out.sims += ledger.charge(env.bench().space, r.params);
     out.commit(actions, r);
   }
   return out;
@@ -52,79 +142,160 @@ RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps) {
 
 std::vector<RunResult> run_ddpg_lockstep(std::span<env::SizingEnv* const> envs,
                                          std::span<DdpgAgent* const> agents,
-                                         int steps) {
-  if (envs.size() != agents.size()) {
+                                         std::span<const int> steps) {
+  if (envs.size() != agents.size() || envs.size() != steps.size()) {
     throw std::invalid_argument(
-        "run_ddpg_lockstep: envs and agents must pair up");
+        "run_ddpg_lockstep: envs, agents and steps must pair up");
   }
-  const std::size_t pairs = envs.size();
-  std::vector<RunResult> out(pairs);
-  if (pairs == 0 || steps <= 0) return out;
-  env::EvalService& svc = envs[0]->eval_service();
-  for (std::size_t s = 1; s < pairs; ++s) {
-    if (&envs[s]->eval_service() != &svc) {
-      throw std::invalid_argument(
-          "run_ddpg_lockstep: all envs must share one EvalService "
-          "(construct them with the shared-service SizingEnv constructor)");
-    }
-  }
-  std::vector<la::Mat> actions(pairs);
-  std::vector<env::EvalJob> jobs(pairs);
-  for (int step = 0; step < steps; ++step) {
-    // Collect phase, pair order: each agent draws from its own RNG stream
-    // exactly as its serial run_ddpg iteration would.
-    for (std::size_t s = 0; s < pairs; ++s) {
-      actions[s] = agents[s]->act_explore();
-      jobs[s] = env::EvalJob{&envs[s]->bench(), &actions[s]};
-    }
-    // One multi-circuit batch: S independent simulations for the pool.
-    const std::vector<env::EvalResult> results = svc.eval_batch_multi(jobs);
-    // Observe phase, pair order: replay pushes and network updates are
-    // strictly per-agent, so sequencing them preserves serial semantics.
-    for (std::size_t s = 0; s < pairs; ++s) {
-      agents[s]->observe(actions[s], results[s].fom);
-      out[s].commit(actions[s], results[s]);
-    }
+  std::vector<RunResult> out(envs.size());
+  if (envs.empty()) return out;
+  for (const auto& members : group_by_service(envs)) {
+    run_ddpg_lockstep_group(envs, agents, steps, members, out);
   }
   return out;
 }
 
+std::vector<RunResult> run_ddpg_lockstep(std::span<env::SizingEnv* const> envs,
+                                         std::span<DdpgAgent* const> agents,
+                                         int steps) {
+  const std::vector<int> uniform(envs.size(), std::max(steps, 0));
+  return run_ddpg_lockstep(envs, agents, uniform);
+}
+
 RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
-                        int steps, double seconds) {
-  using clock = std::chrono::steady_clock;
-  const auto t0 = clock::now();
+                        int steps, long max_sims) {
   RunResult out;
-  int done = 0;
-  while (done < steps) {
-    if (seconds > 0.0) {
-      const double elapsed =
-          std::chrono::duration<double>(clock::now() - t0).count();
-      if (elapsed > seconds) break;
-    }
+  SimLedger ledger;
+  const circuit::DesignSpace& space = env.bench().space;
+  while (out.evals < steps && (max_sims < 0 || out.sims < max_sims)) {
     auto xs = optimizer.ask();
     // An exhausted (or buggy) optimizer proposing nothing can never
-    // advance `done`; end the run instead of spinning forever.
+    // advance the budget; end the run instead of spinning forever.
     if (xs.empty()) break;
-    // Truncate to the remaining budget: the cost model is "number of
-    // simulations", so a population never overshoots the step budget.
-    if (static_cast<int>(xs.size()) > steps - done) {
-      xs.resize(static_cast<std::size_t>(steps - done));
+    // Truncate to the remaining budget: an evaluation costs at most one
+    // simulation, so a population bounded by both remaining budgets can
+    // overshoot neither (repeats cost 0, which only ends the batch under
+    // budget and lets the loop continue).
+    std::size_t room = static_cast<std::size_t>(steps - out.evals);
+    if (max_sims >= 0) {
+      room = std::min(room, static_cast<std::size_t>(max_sims - out.sims));
     }
+    if (xs.size() > room) xs.resize(room);
     const auto results = env.step_flat_batch(xs);
     std::vector<double> ys;
     ys.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       ys.push_back(results[i].fom);
-      out.commit_flat(env.bench().space, xs[i], results[i]);
+      out.sims += ledger.charge(space, results[i].params);
+      out.commit_flat(space, xs[i], results[i]);
     }
     optimizer.tell(xs, ys);
-    done += static_cast<int>(xs.size());
+  }
+  return out;
+}
+
+namespace {
+
+void run_optimizer_lockstep_group(std::span<const OptimizerPair> pairs,
+                                  const std::vector<std::size_t>& members,
+                                  std::vector<RunResult>& out) {
+  env::EvalService& svc = pairs[members.front()].env->eval_service();
+  struct PairState {
+    SimLedger ledger;
+    std::vector<std::vector<double>> xs;  // this round's (truncated) ask()
+    std::vector<la::Mat> mats;            // unflattened, alive for the batch
+    bool done = false;
+  };
+  std::vector<PairState> state(members.size());
+  std::vector<env::EvalJob> jobs;
+  std::vector<std::size_t> asked;  // slots into `members`, pair order
+  for (;;) {
+    // Ask phase, pair order: every still-active optimizer proposes its
+    // population, truncated exactly as serial run_optimizer would; an
+    // exhausted pair drops out of the round instead of padding the batch.
+    jobs.clear();
+    asked.clear();
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      PairState& st = state[k];
+      if (st.done) continue;
+      const OptimizerPair& p = pairs[members[k]];
+      RunResult& res = out[members[k]];
+      if (res.evals >= p.steps ||
+          (p.max_sims >= 0 && res.sims >= p.max_sims)) {
+        st.done = true;
+        continue;
+      }
+      st.xs = p.opt->ask();
+      if (st.xs.empty()) {
+        st.done = true;
+        continue;
+      }
+      std::size_t room = static_cast<std::size_t>(p.steps - res.evals);
+      if (p.max_sims >= 0) {
+        room = std::min(room, static_cast<std::size_t>(p.max_sims - res.sims));
+      }
+      if (st.xs.size() > room) st.xs.resize(room);
+      st.mats.clear();
+      st.mats.reserve(st.xs.size());
+      for (const auto& x : st.xs) {
+        st.mats.push_back(p.env->bench().space.unflatten(x));
+      }
+      for (const la::Mat& m : st.mats) {
+        jobs.push_back(env::EvalJob{&p.env->bench(), &m,
+                                    p.env->eval_attr()});
+      }
+      asked.push_back(k);
+    }
+    if (jobs.empty()) break;
+    // One merged multi-circuit batch: all populations of the round for the
+    // thread pool at once.
+    const std::vector<env::EvalResult> results = svc.eval_batch_multi(jobs);
+    // Tell phase, pair order: commits and tell() are strictly per-pair, so
+    // sequencing them preserves serial run_optimizer semantics.
+    std::size_t offset = 0;
+    for (const std::size_t k : asked) {
+      PairState& st = state[k];
+      const OptimizerPair& p = pairs[members[k]];
+      RunResult& res = out[members[k]];
+      const circuit::DesignSpace& space = p.env->bench().space;
+      std::vector<double> ys;
+      ys.reserve(st.xs.size());
+      for (std::size_t i = 0; i < st.xs.size(); ++i) {
+        const env::EvalResult& r = results[offset + i];
+        ys.push_back(r.fom);
+        res.sims += st.ledger.charge(space, r.params);
+        res.commit_flat(space, st.xs[i], r);
+      }
+      p.opt->tell(st.xs, ys);
+      offset += st.xs.size();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RunResult> run_optimizer_lockstep(
+    std::span<const OptimizerPair> pairs) {
+  std::vector<RunResult> out(pairs.size());
+  if (pairs.empty()) return out;
+  std::vector<env::SizingEnv*> envs;
+  envs.reserve(pairs.size());
+  for (const OptimizerPair& p : pairs) {
+    if (p.env == nullptr || p.opt == nullptr) {
+      throw std::invalid_argument(
+          "run_optimizer_lockstep: every pair needs an env and an optimizer");
+    }
+    envs.push_back(p.env);
+  }
+  for (const auto& members : group_by_service(envs)) {
+    run_optimizer_lockstep_group(pairs, members, out);
   }
   return out;
 }
 
 RunResult run_random(env::SizingEnv& env, int steps, Rng rng) {
   RunResult out;
+  SimLedger ledger;
   // Fixed chunk size, deliberately independent of the backend thread
   // count: cache-state evolution (and hence the trace) depends only on
   // the chunking, so any GCNRL_EVAL_THREADS yields the identical result.
@@ -136,7 +307,10 @@ RunResult run_random(env::SizingEnv& env, int steps, Rng rng) {
     actions.reserve(m);
     for (int i = 0; i < m; ++i) actions.push_back(env.random_actions(rng));
     const auto results = env.step_batch(actions);
-    for (int i = 0; i < m; ++i) out.commit(actions[i], results[i]);
+    for (int i = 0; i < m; ++i) {
+      out.sims += ledger.charge(env.bench().space, results[i].params);
+      out.commit(actions[i], results[i]);
+    }
     done += m;
   }
   return out;

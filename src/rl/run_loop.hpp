@@ -1,6 +1,6 @@
 // Shared optimization-loop drivers used by the examples and the benchmark
 // harnesses: run a DDPG agent or a black-box optimizer against a
-// SizingEnv for a step budget and record the best-so-far FoM trace (the
+// SizingEnv for a budget and record the best-so-far FoM trace (the
 // quantity plotted in the paper's Figs. 5/7/8).
 //
 // The black-box drivers submit whole candidate batches to the env's
@@ -10,6 +10,17 @@
 // order regardless of completion order, and all batching decisions are
 // independent of the thread count — best_trace is bit-identical under
 // GCNRL_EVAL_THREADS=1 and =N.
+//
+// Budgets are deterministic. An evaluation budget caps trace commits; a
+// simulated-cost budget caps RunResult::sims, the number of simulations
+// the run would execute in isolation: the first evaluation of each
+// distinct refined design costs one simulation, repeats of a design the
+// run already evaluated are free. This charge is a pure function of the
+// run's own proposal stream — independent of thread count, cache capacity,
+// and whatever other runs warmed a shared cache — which is what makes
+// sim-budgeted tables bit-reproducible (the paper's Table I protocol
+// matched BO/MACE to the RL methods by nondeterministic wall-clock
+// instead; see bench::run_optimizer_budgeted).
 #pragma once
 
 #include <memory>
@@ -29,6 +40,7 @@ struct RunResult {
   la::Mat best_actions;            // n x kMaxActionDim
   env::MetricMap best_metrics;
   long evals = 0;       // evaluations committed to the trace
+  long sims = 0;        // simulated cost: first-in-run distinct designs
   long cache_hits = 0;  // subset served by the EvalService result cache
 
   void record(double fom);
@@ -46,8 +58,8 @@ struct RunResult {
 RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps);
 
 // Lockstep multi-seed DDPG: step S independent (env, agent) pairs side by
-// side for `steps` episodes. Per step, the S exploration actions are
-// collected in pair order, submitted to the pairs' SHARED EvalService as
+// side. Per step, the exploration actions of every still-active pair are
+// collected in pair order, submitted to the pairs' shared EvalService as
 // one multi-circuit batch (this is where the thread pool earns its keep —
 // DDPG is sequential within a seed but the seeds are independent), and the
 // observe()/commit() updates then run sequentially in pair order. Each
@@ -55,22 +67,58 @@ RunResult run_ddpg(env::SizingEnv& env, DdpgAgent& agent, int steps);
 // serial run_ddpg would produce, so per-pair results are bit-identical to
 // S serial runs at any GCNRL_EVAL_THREADS.
 //
-// Requirements: envs.size() == agents.size(), and every env must hold the
-// same EvalService (see SizingEnv's shared-service constructor); throws
-// std::invalid_argument otherwise. Pairs may mix circuits, technologies,
-// and FoM specs freely.
+// Pairs may mix circuits, technologies, and FoM specs freely. Pairs on
+// different EvalServices cannot share a batch, so they are transparently
+// grouped by service and the groups run back-to-back (results are
+// independent of the grouping). The span overload gives each pair its own
+// step budget: a pair whose budget is exhausted drops out of subsequent
+// batches instead of padding them with wasted simulations.
+//
+// Requirements: envs, agents (and steps, for the span overload) must have
+// equal sizes; throws std::invalid_argument otherwise.
+std::vector<RunResult> run_ddpg_lockstep(std::span<env::SizingEnv* const> envs,
+                                         std::span<DdpgAgent* const> agents,
+                                         std::span<const int> steps);
 std::vector<RunResult> run_ddpg_lockstep(std::span<env::SizingEnv* const> envs,
                                          std::span<DdpgAgent* const> agents,
                                          int steps);
 
 // Run a black-box optimizer (ask/tell on the flattened space). Each ask()
-// population is evaluated as one batch, truncated to the remaining budget.
-// seconds > 0 adds a wall-clock cap checked between batches (the paper's
-// runtime-matching rule for the O(N^3) BO methods); <= 0 means no cap.
-// An empty ask() population ends the run early (the optimizer has nothing
-// left to propose); without this the loop could never advance its budget.
+// population is evaluated as one batch, truncated to the remaining budget
+// (an evaluation costs at most one simulation, so neither budget can be
+// overshot). `steps` caps trace commits; `max_sims` >= 0 additionally caps
+// the simulated cost (RunResult::sims — within-run repeats are free, see
+// the header comment), < 0 means no simulated-cost cap. An empty ask()
+// population ends the run early (the optimizer has nothing left to
+// propose); without this the loop could never advance its budget.
 RunResult run_optimizer(env::SizingEnv& env, opt::Optimizer& optimizer,
-                        int steps, double seconds = 0.0);
+                        int steps, long max_sims = -1);
+
+// One (env, optimizer) pair of a lockstep black-box sweep, with its own
+// budgets (same semantics as run_optimizer; steps <= 0 means the pair
+// never runs).
+struct OptimizerPair {
+  env::SizingEnv* env = nullptr;
+  opt::Optimizer* opt = nullptr;
+  int steps = 0;
+  long max_sims = -1;
+};
+
+// Lockstep multi-seed black-box driver, mirroring run_ddpg_lockstep: per
+// round, every still-active optimizer's ask() population (truncated to its
+// remaining budget) is merged into one multi-circuit batch on the pairs'
+// shared EvalService, then results are committed and tell() runs
+// sequentially in pair order. Ask/tell is sequential within a pair, but
+// the pairs are independent, so the thread pool finally parallelizes
+// black-box seed sweeps ACROSS seeds, not just within one population.
+// A pair drops out once its evaluation or simulated-cost budget is
+// exhausted or its ask() comes back empty. Pairs on different services
+// are grouped and the groups run back-to-back. Per-pair best_trace/sims
+// are bit-identical to serial run_optimizer at any GCNRL_EVAL_THREADS
+// (FoM values never depend on cache state, and each optimizer sees the
+// identical ask/tell sequence).
+std::vector<RunResult> run_optimizer_lockstep(
+    std::span<const OptimizerPair> pairs);
 
 // Evaluate `steps` uniform random designs (the paper's Random baseline),
 // pre-generated and submitted in fixed-size batches.

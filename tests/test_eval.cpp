@@ -259,6 +259,7 @@ TEST(EvalService, RunRandomTraceIsThreadCountInvariant) {
   }
   EXPECT_DOUBLE_EQ(r1.best_fom, r4.best_fom);
   EXPECT_EQ(r1.evals, r4.evals);
+  EXPECT_EQ(r1.sims, r4.sims);
   EXPECT_EQ(r1.cache_hits, r4.cache_hits);
   EXPECT_EQ(e1.num_sims(), e4.num_sims());
   EXPECT_EQ(r1.best_metrics, r4.best_metrics);
@@ -277,6 +278,7 @@ TEST(EvalService, RunOptimizerTraceIsThreadCountInvariant) {
   }
   EXPECT_DOUBLE_EQ(r1.best_fom, r4.best_fom);
   EXPECT_EQ(r1.evals, r4.evals);
+  EXPECT_EQ(r1.sims, r4.sims);
   EXPECT_EQ(r1.cache_hits, r4.cache_hits);
   EXPECT_EQ(e1.num_sims(), e4.num_sims());
 }
@@ -364,8 +366,10 @@ TEST(EvalConfig, DefaultConstructedEnvFollowsEnvKnob) {
 
 TEST(EvalService, SharedCacheHitAccountingAcrossSeedEnvs) {
   // Two seed-envs of the same circuit on one service: a design simulated
-  // through one env is a cache hit through the other, and the counters are
-  // service-wide.
+  // through one env is a cache hit through the other. Service-wide totals
+  // aggregate both, while each env's own counters attribute exactly its
+  // requests — the sim to the env whose request ran it, the hit to the
+  // env that was served from the cache.
   const auto svc = std::make_shared<env::EvalService>(config(1, 64));
   env::SizingEnv a(make_synthetic(), env::IndexMode::OneHot, svc);
   env::SizingEnv b(make_synthetic(), env::IndexMode::OneHot, svc);
@@ -380,8 +384,12 @@ TEST(EvalService, SharedCacheHitAccountingAcrossSeedEnvs) {
   EXPECT_EQ(svc->requested(), 2);
   EXPECT_EQ(svc->sims(), 1);
   EXPECT_EQ(svc->cache_hits(), 1);
-  // Per-env counter accessors read the shared service.
+  // Per-env attribution: num_evals - num_sims = cache_hits holds per env.
+  EXPECT_EQ(a.num_evals(), 1);
   EXPECT_EQ(a.num_sims(), 1);
+  EXPECT_EQ(a.cache_hits(), 0);
+  EXPECT_EQ(b.num_evals(), 1);
+  EXPECT_EQ(b.num_sims(), 0);
   EXPECT_EQ(b.cache_hits(), 1);
 }
 
@@ -509,19 +517,103 @@ TEST(Lockstep, DdpgTracesMatchSerialAtFourThreads) {
   expect_lockstep_matches_serial(4);
 }
 
-TEST(Lockstep, RejectsEnvsOnDifferentServices) {
+// Regression: pairs on different services used to throw; now they are
+// transparently grouped by service and the groups run back-to-back, with
+// per-pair traces still bit-identical to serial runs.
+TEST(Lockstep, GroupsPairsByServiceInsteadOfThrowing) {
+  const std::vector<std::uint64_t> seeds = {1000, 8919, 16838};
+  const int steps = 20;
+  const gcnrl::rl::DdpgConfig cfg = tiny_ddpg_config();
+  const auto serial = serial_ddpg_runs(cfg, seeds, steps);
+
+  // Three pairs interleaved across TWO services (0 and 2 share, 1 is
+  // alone), so the grouping is exercised in non-contiguous pair order.
+  const auto svc_a = std::make_shared<env::EvalService>(config(1, 256));
+  const auto svc_b = std::make_shared<env::EvalService>(config(1, 256));
+  std::vector<std::unique_ptr<env::SizingEnv>> envs;
+  std::vector<std::unique_ptr<gcnrl::rl::DdpgAgent>> agents;
+  std::vector<env::SizingEnv*> env_ptrs;
+  std::vector<gcnrl::rl::DdpgAgent*> agent_ptrs;
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    envs.push_back(std::make_unique<env::SizingEnv>(
+        make_synthetic(), env::IndexMode::OneHot, s == 1 ? svc_b : svc_a));
+    agents.push_back(std::make_unique<gcnrl::rl::DdpgAgent>(
+        envs.back()->state(), envs.back()->adjacency(), envs.back()->kinds(),
+        cfg, Rng(seeds[s])));
+    env_ptrs.push_back(envs.back().get());
+    agent_ptrs.push_back(agents.back().get());
+  }
+  const auto lockstep =
+      gcnrl::rl::run_ddpg_lockstep(env_ptrs, agent_ptrs, steps);
+  ASSERT_EQ(lockstep.size(), serial.size());
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    ASSERT_EQ(lockstep[s].best_trace.size(), serial[s].best_trace.size());
+    for (std::size_t i = 0; i < serial[s].best_trace.size(); ++i) {
+      EXPECT_EQ(lockstep[s].best_trace[i], serial[s].best_trace[i])
+          << "seed " << seeds[s] << " step " << i;
+    }
+    EXPECT_EQ(lockstep[s].best_fom, serial[s].best_fom);
+    EXPECT_EQ(lockstep[s].sims, serial[s].sims);
+  }
+}
+
+TEST(Lockstep, RejectsMismatchedSpans) {
   env::SizingEnv a(make_synthetic(), env::IndexMode::OneHot, config(1, 16));
-  env::SizingEnv b(make_synthetic(), env::IndexMode::OneHot, config(1, 16));
   const gcnrl::rl::DdpgConfig cfg = tiny_ddpg_config();
   gcnrl::rl::DdpgAgent aa(a.state(), a.adjacency(), a.kinds(), cfg, Rng(1));
-  gcnrl::rl::DdpgAgent ab(b.state(), b.adjacency(), b.kinds(), cfg, Rng(2));
-  std::vector<env::SizingEnv*> envs = {&a, &b};
-  std::vector<gcnrl::rl::DdpgAgent*> agents = {&aa, &ab};
-  EXPECT_THROW(gcnrl::rl::run_ddpg_lockstep(envs, agents, 1),
+  gcnrl::rl::DdpgAgent ab(a.state(), a.adjacency(), a.kinds(), cfg, Rng(2));
+  std::vector<env::SizingEnv*> envs = {&a};
+  std::vector<gcnrl::rl::DdpgAgent*> two = {&aa, &ab};
+  EXPECT_THROW(gcnrl::rl::run_ddpg_lockstep(envs, two, 1),
                std::invalid_argument);
-  std::vector<gcnrl::rl::DdpgAgent*> just_one = {&aa};
-  EXPECT_THROW(gcnrl::rl::run_ddpg_lockstep(envs, just_one, 1),
+  std::vector<gcnrl::rl::DdpgAgent*> one = {&aa};
+  const std::vector<int> bad_steps = {1, 2};
+  EXPECT_THROW(gcnrl::rl::run_ddpg_lockstep(envs, one, bad_steps),
                std::invalid_argument);
+}
+
+// Heterogeneous step budgets: a finished pair must drop out of later
+// batches instead of padding them, so the service runs exactly the sum of
+// the per-pair budgets (cache disabled makes sims == evaluations).
+TEST(Lockstep, ExhaustedPairsDropOutOfBatches) {
+  const std::vector<std::uint64_t> seeds = {1000, 8919, 16838};
+  const std::vector<int> steps = {12, 4, 8};
+  const gcnrl::rl::DdpgConfig cfg = tiny_ddpg_config();
+
+  const auto svc = std::make_shared<env::EvalService>(config(2, 0));
+  std::vector<std::unique_ptr<env::SizingEnv>> envs;
+  std::vector<std::unique_ptr<gcnrl::rl::DdpgAgent>> agents;
+  std::vector<env::SizingEnv*> env_ptrs;
+  std::vector<gcnrl::rl::DdpgAgent*> agent_ptrs;
+  for (const std::uint64_t seed : seeds) {
+    envs.push_back(std::make_unique<env::SizingEnv>(
+        make_synthetic(), env::IndexMode::OneHot, svc));
+    agents.push_back(std::make_unique<gcnrl::rl::DdpgAgent>(
+        envs.back()->state(), envs.back()->adjacency(), envs.back()->kinds(),
+        cfg, Rng(seed)));
+    env_ptrs.push_back(envs.back().get());
+    agent_ptrs.push_back(agents.back().get());
+  }
+  const auto runs = gcnrl::rl::run_ddpg_lockstep(env_ptrs, agent_ptrs, steps);
+  ASSERT_EQ(runs.size(), steps.size());
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    EXPECT_EQ(runs[s].evals, steps[s]);
+    EXPECT_EQ(runs[s].best_trace.size(),
+              static_cast<std::size_t>(steps[s]));
+  }
+  // 12 + 4 + 8 simulations, NOT 3 * 12: no padding by finished pairs
+  // (cache disabled, so requested == sims == committed evaluations).
+  EXPECT_EQ(svc->sims(), 24);
+  EXPECT_EQ(svc->requested(), 24);
+  // Per-pair traces equal serial runs of the same per-pair budget.
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const auto serial = serial_ddpg_runs(cfg, {seeds[s]}, steps[s]);
+    ASSERT_EQ(runs[s].best_trace.size(), serial[0].best_trace.size());
+    for (std::size_t i = 0; i < serial[0].best_trace.size(); ++i) {
+      EXPECT_EQ(runs[s].best_trace[i], serial[0].best_trace[i])
+          << "seed " << seeds[s] << " step " << i;
+    }
+  }
 }
 
 namespace {
@@ -556,6 +648,185 @@ TEST(RunOptimizer, TerminatesWhenAskReturnsEmptyPopulation) {
   const auto r = gcnrl::rl::run_optimizer(e, stub, 100);
   EXPECT_EQ(r.evals, 2);
   EXPECT_EQ(r.best_trace.size(), 2u);
+}
+
+namespace {
+
+// Optimizer stub replaying a scripted sequence of points, one ask() per
+// point — lets the sim-budget tests control exactly which designs repeat.
+class ScriptedOptimizer final : public gcnrl::opt::Optimizer {
+ public:
+  ScriptedOptimizer(int dim, std::vector<std::vector<double>> script)
+      : dim_(dim), script_(std::move(script)) {}
+  std::vector<std::vector<double>> ask() override {
+    if (next_ >= script_.size()) return {};
+    return {script_[next_++]};
+  }
+  void tell(const std::vector<std::vector<double>>&,
+            const std::vector<double>&) override {}
+  [[nodiscard]] int dim() const override { return dim_; }
+
+ private:
+  int dim_;
+  std::vector<std::vector<double>> script_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+// The simulated-cost budget counts first-in-run distinct designs;
+// revisits of a design the run already evaluated are free.
+TEST(RunOptimizer, SimBudgetChargesDistinctDesignsOnly) {
+  env::SizingEnv e(make_synthetic(), env::IndexMode::OneHot, config(1, 64));
+  const std::size_t d = static_cast<std::size_t>(e.flat_dim());
+  const std::vector<double> a(d, 0.2), b(d, 0.5), c(d, 0.8);
+  {
+    // a, b, a(free repeat), c: the repeat must not consume budget, so a
+    // budget of 3 sims admits all four evaluations.
+    ScriptedOptimizer stub(e.flat_dim(), {a, b, a, c});
+    const auto r = gcnrl::rl::run_optimizer(e, stub, 100, 3);
+    EXPECT_EQ(r.evals, 4);
+    EXPECT_EQ(r.sims, 3);
+  }
+  {
+    // Same script, budget 2: the run stops as soon as a and b are charged
+    // — the budget check runs before each ask(), so the free repeat of a
+    // is never requested once the budget is exhausted.
+    env::SizingEnv e2(make_synthetic(), env::IndexMode::OneHot,
+                      config(1, 64));
+    ScriptedOptimizer stub(e2.flat_dim(), {a, b, a, c});
+    const auto r = gcnrl::rl::run_optimizer(e2, stub, 100, 2);
+    EXPECT_EQ(r.sims, 2);
+    EXPECT_EQ(r.evals, 2);
+  }
+}
+
+// The charge is a pure function of the run's own proposals: a run whose
+// every result is served by a cache another run warmed is charged the
+// same simulated cost as the run that paid for the simulations.
+TEST(RunOptimizer, SimChargeIsIndependentOfSharedCacheWarmth) {
+  const auto svc = std::make_shared<env::EvalService>(config(1, 4096));
+  env::SizingEnv cold(make_synthetic(), env::IndexMode::OneHot, svc);
+  env::SizingEnv warm(make_synthetic(), env::IndexMode::OneHot, svc);
+  gcnrl::opt::CmaEs es1(cold.flat_dim(), Rng(99));
+  gcnrl::opt::CmaEs es2(warm.flat_dim(), Rng(99));
+  const auto r1 = gcnrl::rl::run_optimizer(cold, es1, 60);
+  const auto r2 = gcnrl::rl::run_optimizer(warm, es2, 60);
+  // Identical seed, identical FoMs -> identical proposals: the second run
+  // is served entirely from the first run's cache entries...
+  EXPECT_EQ(warm.num_sims(), 0);
+  EXPECT_EQ(r2.cache_hits, r2.evals);
+  // ...yet its charged simulated cost (and trace) match the cold run.
+  EXPECT_EQ(r1.sims, r2.sims);
+  EXPECT_GT(r2.sims, 0);
+  ASSERT_EQ(r1.best_trace.size(), r2.best_trace.size());
+  for (std::size_t i = 0; i < r1.best_trace.size(); ++i) {
+    EXPECT_EQ(r1.best_trace[i], r2.best_trace[i]) << i;
+  }
+}
+
+namespace {
+
+// Serial reference for the lockstep black-box driver: one run_optimizer
+// per seed, each on its own private env/service.
+std::vector<gcnrl::rl::RunResult> serial_cmaes_runs(
+    const std::vector<std::uint64_t>& seeds, int steps, long max_sims) {
+  std::vector<gcnrl::rl::RunResult> out;
+  for (const std::uint64_t seed : seeds) {
+    env::SizingEnv e(make_synthetic(), env::IndexMode::OneHot,
+                     config(1, 256));
+    gcnrl::opt::CmaEs es(e.flat_dim(), Rng(seed));
+    out.push_back(gcnrl::rl::run_optimizer(e, es, steps, max_sims));
+  }
+  return out;
+}
+
+void expect_optimizer_lockstep_matches_serial(int threads) {
+  const std::vector<std::uint64_t> seeds = {1000, 8919, 16838};
+  const int steps = 100;
+  const auto serial = serial_cmaes_runs(seeds, steps, -1);
+
+  const auto svc = std::make_shared<env::EvalService>(config(threads, 256));
+  std::vector<std::unique_ptr<env::SizingEnv>> envs;
+  std::vector<std::unique_ptr<gcnrl::opt::CmaEs>> opts;
+  std::vector<gcnrl::rl::OptimizerPair> pairs;
+  for (const std::uint64_t seed : seeds) {
+    envs.push_back(std::make_unique<env::SizingEnv>(
+        make_synthetic(), env::IndexMode::OneHot, svc));
+    opts.push_back(std::make_unique<gcnrl::opt::CmaEs>(
+        envs.back()->flat_dim(), Rng(seed)));
+    pairs.push_back(gcnrl::rl::OptimizerPair{envs.back().get(),
+                                             opts.back().get(), steps, -1});
+  }
+  const auto lockstep = gcnrl::rl::run_optimizer_lockstep(pairs);
+
+  ASSERT_EQ(lockstep.size(), serial.size());
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    ASSERT_EQ(lockstep[s].best_trace.size(), serial[s].best_trace.size());
+    for (std::size_t i = 0; i < serial[s].best_trace.size(); ++i) {
+      // Bit-identical, not just close: exact double equality.
+      EXPECT_EQ(lockstep[s].best_trace[i], serial[s].best_trace[i])
+          << "seed " << seeds[s] << " eval " << i;
+    }
+    EXPECT_EQ(lockstep[s].best_fom, serial[s].best_fom);
+    EXPECT_EQ(lockstep[s].best_metrics, serial[s].best_metrics);
+    EXPECT_EQ(lockstep[s].evals, serial[s].evals);
+    EXPECT_EQ(lockstep[s].sims, serial[s].sims);
+  }
+}
+
+}  // namespace
+
+// The acceptance criterion of the lockstep black-box driver: per-seed
+// traces and charged simulated costs bit-identical to serial
+// run_optimizer, at 1 and at 4 eval threads.
+TEST(OptimizerLockstep, CmaEsTracesMatchSerialAtOneThread) {
+  expect_optimizer_lockstep_matches_serial(1);
+}
+
+TEST(OptimizerLockstep, CmaEsTracesMatchSerialAtFourThreads) {
+  expect_optimizer_lockstep_matches_serial(4);
+}
+
+// Heterogeneous simulated-cost budgets: an exhausted pair drops out of
+// later rounds (no padding), and every pair still matches its own serial
+// run under the identical budget.
+TEST(OptimizerLockstep, ExhaustedPairsDropOutAndSimsShrink) {
+  const std::vector<std::uint64_t> seeds = {1000, 8919, 16838};
+  const std::vector<long> budgets = {40, 12, 24};
+  const int steps = 1000;
+
+  const auto svc = std::make_shared<env::EvalService>(config(1, 0));
+  std::vector<std::unique_ptr<env::SizingEnv>> envs;
+  std::vector<std::unique_ptr<gcnrl::opt::CmaEs>> opts;
+  std::vector<gcnrl::rl::OptimizerPair> pairs;
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    envs.push_back(std::make_unique<env::SizingEnv>(
+        make_synthetic(), env::IndexMode::OneHot, svc));
+    opts.push_back(std::make_unique<gcnrl::opt::CmaEs>(
+        envs.back()->flat_dim(), Rng(seeds[s])));
+    pairs.push_back(gcnrl::rl::OptimizerPair{
+        envs.back().get(), opts.back().get(), steps, budgets[s]});
+  }
+  const auto runs = gcnrl::rl::run_optimizer_lockstep(pairs);
+  ASSERT_EQ(runs.size(), seeds.size());
+  long sum_evals = 0;
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    EXPECT_EQ(runs[s].sims, budgets[s]);
+    sum_evals += runs[s].evals;
+    const auto serial = serial_cmaes_runs({seeds[s]}, steps, budgets[s]);
+    ASSERT_EQ(runs[s].best_trace.size(), serial[0].best_trace.size());
+    for (std::size_t i = 0; i < serial[0].best_trace.size(); ++i) {
+      EXPECT_EQ(runs[s].best_trace[i], serial[0].best_trace[i])
+          << "seed " << seeds[s] << " eval " << i;
+    }
+    EXPECT_EQ(runs[s].evals, serial[0].evals);
+  }
+  // Cache disabled: every submitted job simulates, so the service ran
+  // exactly the evaluations the pairs committed — exhausted pairs padded
+  // no batches with extra simulations.
+  EXPECT_EQ(svc->sims(), sum_evals);
+  EXPECT_EQ(svc->requested(), sum_evals);
 }
 
 // --- real circuit through the thread pool (TSan coverage) ----------------

@@ -241,6 +241,63 @@ TEST(Mace, OptimizesQuadratic) {
   EXPECT_GT(best, -0.05);
 }
 
+namespace {
+
+// Drive two instances of one optimizer through the identical ask/tell
+// transcript (a deterministic synthetic objective) and require identical
+// proposals throughout. This is the property the lockstep sweep driver
+// rests on: an optimizer's stream is a pure function of its seed and its
+// observations, so stepping S seeds side by side cannot perturb any of
+// them.
+void expect_replay_determinism(opt::Optimizer& a, opt::Optimizer& b,
+                               int rounds) {
+  auto f = [](const std::vector<double>& x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      acc -= (x[i] - 0.1 * static_cast<double>(i + 1)) *
+             (x[i] - 0.1 * static_cast<double>(i + 1));
+    }
+    return acc;
+  };
+  for (int r = 0; r < rounds; ++r) {
+    const auto xa = a.ask();
+    const auto xb = b.ask();
+    ASSERT_EQ(xa.size(), xb.size()) << "round " << r;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < xa.size(); ++i) {
+      ASSERT_EQ(xa[i], xb[i]) << "round " << r << " point " << i;
+      ys.push_back(f(xa[i]));
+    }
+    a.tell(xa, ys);
+    b.tell(xb, ys);
+  }
+}
+
+}  // namespace
+
+TEST(BayesOpt, IdenticallySeededInstancesReplayIdentically) {
+  opt::BayesOptOptions bopt;
+  bopt.initial_random = 4;
+  opt::BayesOpt a(3, Rng(21), bopt);
+  opt::BayesOpt b(3, Rng(21), bopt);
+  expect_replay_determinism(a, b, 12);
+}
+
+TEST(Mace, IdenticallySeededInstancesReplayIdentically) {
+  opt::MaceOptions mopt;
+  mopt.initial_random = 4;
+  mopt.batch = 3;
+  opt::Mace a(3, Rng(22), mopt);
+  opt::Mace b(3, Rng(22), mopt);
+  expect_replay_determinism(a, b, 10);
+}
+
+TEST(CmaEs, IdenticallySeededInstancesReplayIdentically) {
+  opt::CmaEs a(4, Rng(23));
+  opt::CmaEs b(4, Rng(23));
+  expect_replay_determinism(a, b, 15);
+}
+
 TEST(NormalHelpers, PdfCdfSanity) {
   EXPECT_NEAR(opt::norm_cdf(0.0), 0.5, 1e-12);
   EXPECT_NEAR(opt::norm_cdf(10.0), 1.0, 1e-9);
