@@ -1,40 +1,6 @@
 #include "common.hpp"
 
-#include <stdexcept>
-
 namespace gcnrl::bench {
-
-LockstepGroup::LockstepGroup(const EnvFactory& factory,
-                             std::vector<LockstepSpec> specs) {
-  // All pairs share one service so run_ddpg_lockstep batches them as one
-  // group (it would transparently split them otherwise).
-  std::shared_ptr<env::EvalService> svc = factory.service();
-  if (!svc) {
-    svc = std::make_shared<env::EvalService>(env::eval_config_from_env());
-  }
-  for (LockstepSpec& spec : specs) {
-    envs_.push_back(factory.make(svc));
-    if (spec.setup) spec.setup(*envs_.back());
-    agents_.push_back(std::make_unique<rl::DdpgAgent>(
-        envs_.back()->state(), envs_.back()->adjacency(),
-        envs_.back()->kinds(), spec.cfg, spec.rng));
-    if (spec.copy_from != nullptr) {
-      agents_.back()->copy_weights_from(*spec.copy_from);
-    }
-  }
-}
-
-std::vector<rl::RunResult> LockstepGroup::run(int steps) {
-  std::vector<env::SizingEnv*> env_ptrs;
-  std::vector<rl::DdpgAgent*> agent_ptrs;
-  env_ptrs.reserve(envs_.size());
-  agent_ptrs.reserve(agents_.size());
-  for (std::size_t i = 0; i < envs_.size(); ++i) {
-    env_ptrs.push_back(envs_[i].get());
-    agent_ptrs.push_back(agents_[i].get());
-  }
-  return rl::run_ddpg_lockstep(env_ptrs, agent_ptrs, steps);
-}
 
 rl::RunResult run_optimizer_budgeted(env::SizingEnv& env, opt::Optimizer& opt,
                                      int steps, long sim_budget) {
@@ -43,143 +9,7 @@ rl::RunResult run_optimizer_budgeted(env::SizingEnv& env, opt::Optimizer& opt,
 
 std::unique_ptr<opt::Optimizer> make_optimizer(const std::string& method,
                                                int dim, Rng rng) {
-  if (method == "ES") return std::make_unique<opt::CmaEs>(dim, rng);
-  if (method == "BO") return std::make_unique<opt::BayesOpt>(dim, rng);
-  if (method == "MACE") return std::make_unique<opt::Mace>(dim, rng);
-  throw std::invalid_argument("make_optimizer: unknown method " + method);
-}
-
-std::string eval_banner() {
-  const env::EvalServiceConfig cfg = env::eval_config_from_env();
-  return "eval engine: threads=" + std::to_string(cfg.threads) +
-         (cfg.threads > 1 ? " (thread pool)" : " (serial)") +
-         ", cache=" + std::to_string(cfg.cache_capacity);
-}
-
-std::string service_usage(const env::EvalService& svc) {
-  return "service totals: " + std::to_string(svc.requested()) + " evals, " +
-         std::to_string(svc.sims()) + " sims, " +
-         std::to_string(svc.cache_hits()) + " cache hits, " +
-         std::to_string(svc.threads()) + " threads";
-}
-
-rl::RunResult run_method(const std::string& method, const EnvFactory& factory,
-                         int steps, int warmup, std::uint64_t seed,
-                         long sim_budget, const rl::DdpgConfig& base_cfg,
-                         std::shared_ptr<env::EvalService> svc) {
-  auto env = svc ? factory.make(std::move(svc)) : factory.make();
-  Rng rng(seed);
-
-  if (method == "Random") {
-    return rl::run_random(*env, steps, rng);
-  }
-  if (method == "ES" || method == "BO" || method == "MACE") {
-    const auto opt = make_optimizer(method, env->flat_dim(), rng);
-    // ES is the budget source: it runs on its step budget alone.
-    return run_optimizer_budgeted(*env, *opt, steps,
-                                  method == "ES" ? 0 : sim_budget);
-  }
-  if (method == "NG-RL" || method == "GCN-RL") {
-    rl::DdpgConfig cfg = base_cfg;
-    cfg.use_gcn = method == "GCN-RL";
-    cfg.warmup = warmup;
-    rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(), cfg,
-                        rng);
-    return rl::run_ddpg(*env, agent, steps);
-  }
-  throw std::invalid_argument("run_method: unknown method " + method);
-}
-
-SweepResult sweep(const std::string& method, const EnvFactory& factory,
-                  int steps, int warmup, int seeds,
-                  std::span<const long> sim_budgets,
-                  const rl::DdpgConfig& base_cfg) {
-  SweepResult out;
-  if (!sim_budgets.empty() &&
-      sim_budgets.size() != static_cast<std::size_t>(seeds)) {
-    throw std::invalid_argument("sweep: need one sim budget per seed");
-  }
-  // Either way, all S seeds share one service — its thread pool and its
-  // result cache. FoM values never depend on cache state (raw metrics are
-  // cached, the FoM is recomputed per env) and budgets count run-local
-  // simulated cost (RunResult::sims, warmth-independent by construction),
-  // so every per-seed trace is bit-identical to a fully isolated run of
-  // the same seed, whatever ran on the service before.
-  const auto seed_of = [](int s) {
-    return 1000 + 7919 * static_cast<std::uint64_t>(s);
-  };
-  std::vector<rl::RunResult> results;
-  const bool is_rl = method == "NG-RL" || method == "GCN-RL";
-  if (is_rl) {
-    // Lockstep mode: S (env, agent) pairs advance together, one S-wide
-    // simulation batch per step.
-    std::vector<LockstepSpec> specs;
-    specs.reserve(static_cast<std::size_t>(seeds));
-    for (int s = 0; s < seeds; ++s) {
-      rl::DdpgConfig cfg = base_cfg;
-      cfg.use_gcn = method == "GCN-RL";
-      cfg.warmup = warmup;
-      specs.push_back(LockstepSpec{cfg, Rng(seed_of(s)), nullptr, {}});
-    }
-    LockstepGroup group(factory, std::move(specs));
-    results = group.run(steps);
-  } else {
-    std::shared_ptr<env::EvalService> svc = factory.service();
-    if (!svc) {
-      svc = std::make_shared<env::EvalService>(env::eval_config_from_env());
-    }
-    if (method == "Random") {
-      for (int s = 0; s < seeds; ++s) {
-        results.push_back(run_method(method, factory, steps, warmup,
-                                     seed_of(s), 0, base_cfg, svc));
-      }
-    } else {
-      // Lockstep mode for the ask/tell baselines: S optimizers propose
-      // into one merged batch per round; a seed whose budget runs out
-      // drops out of later rounds.
-      std::vector<std::unique_ptr<env::SizingEnv>> envs;
-      std::vector<std::unique_ptr<opt::Optimizer>> opts;
-      std::vector<rl::OptimizerPair> pairs;
-      for (int s = 0; s < seeds; ++s) {
-        envs.push_back(factory.make(svc));
-        opts.push_back(
-            make_optimizer(method, envs.back()->flat_dim(), Rng(seed_of(s))));
-        const long max_sims = sim_budgets.empty()
-                                  ? -1
-                                  : sim_budgets[static_cast<std::size_t>(s)];
-        pairs.push_back(rl::OptimizerPair{envs.back().get(),
-                                          opts.back().get(), steps,
-                                          max_sims > 0 ? max_sims : -1});
-      }
-      results = rl::run_optimizer_lockstep(pairs);
-    }
-  }
-  for (rl::RunResult& r : results) {
-    out.best.push_back(r.best_fom);
-    out.sims.push_back(r.sims);
-    out.traces.push_back(std::move(r.best_trace));
-  }
-  out.mean = la::mean(out.best);
-  out.stddev = la::stddev(out.best);
-  return out;
-}
-
-SweepResult sweep_chained(const std::string& method, const EnvFactory& factory,
-                          int steps, int warmup, int seeds,
-                          std::vector<long>& es_sims,
-                          const rl::DdpgConfig& base_cfg) {
-  const bool budgeted = method == "BO" || method == "MACE";
-  SweepResult sw = sweep(
-      method, factory, steps, warmup, seeds,
-      budgeted ? std::span<const long>(es_sims) : std::span<const long>{},
-      base_cfg);
-  if (method == "ES") es_sims = sw.sims;
-  return sw;
-}
-
-std::string pm(double mean, double stddev, int precision) {
-  return TextTable::num(mean, precision) + " +/- " +
-         TextTable::num(stddev, 2);
+  return api::make_ask_tell(method, dim, std::move(rng));
 }
 
 }  // namespace gcnrl::bench

@@ -1,192 +1,55 @@
-// Shared machinery for the table/figure benchmark harnesses.
-//
-// Provides the method registry of Table I (Random / ES / BO / MACE /
-// NG-RL / GCN-RL + the human anchor), seed sweeps with mean +/- std
-// aggregation, and a deterministic rendering of the paper's
-// budget-matching rule for the O(N^3) BO methods ("for BO and MACE it is
-// impossible to run 10000 steps ... we ran them for the same runtime"):
-// the paper's true cost unit is the simulation, so BO/MACE runs stop at
-// the SIMULATED-COST budget of the corresponding ES run (its
-// RunResult::sims — the simulations an isolated ES run would execute)
-// instead of at a nondeterministic wall-clock deadline. Budgets in
-// simulation counts are pure functions of the proposal streams, so every
-// harness table is bit-reproducible run-to-run, at any GCNRL_EVAL_THREADS
-// or GCNRL_EVAL_CACHE, and regardless of which methods warmed a shared
-// result cache first.
+// Shared machinery for the table/figure benchmark harnesses — now a thin
+// compatibility surface over the public facade (api/api.hpp), which owns
+// the method/circuit dispatch, the calibrated EnvFactory, the lockstep
+// seed sweeps, and the paper's budget-matching rule ("for BO and MACE it
+// is impossible to run 10000 steps ... we ran them for the same runtime"
+// — rendered deterministic as simulated-cost budgets chained from the
+// matching ES seed, see api/task.hpp). The harnesses keep addressing
+// everything as bench::X; new code should include api/api.hpp directly.
 #pragma once
 
-#include <functional>
 #include <memory>
-#include <span>
 #include <string>
 #include <vector>
 
-#include "circuits/benchmark_circuits.hpp"
+#include "api/api.hpp"
 #include "common/envcfg.hpp"
 #include "common/table.hpp"
-#include "env/eval_service.hpp"
 #include "la/stats.hpp"
-#include "opt/bayes_opt.hpp"
-#include "opt/cma_es.hpp"
-#include "opt/mace.hpp"
-#include "opt/random_search.hpp"
-#include "rl/run_loop.hpp"
 
 namespace gcnrl::bench {
 
+// The Table I sweep methods, in the paper's column order (the "Human"
+// anchor row is a MethodRegistry entry too, but not a sweep).
 inline const std::vector<std::string> kMethods = {
     "Random", "ES", "BO", "MACE", "NG-RL", "GCN-RL"};
 
-// A calibrated environment factory: builds fresh envs for a circuit while
-// sharing one FoM calibration (normalizers must be identical across
-// methods for the comparison to be meaningful).
-//
-// When constructed with a shared EvalService, every env the factory makes
-// — including the calibration probe — evaluates through that service, so a
-// whole harness shares one thread pool and one result cache. Without one,
-// each env gets a private service from the GCNRL_EVAL_* knobs, as before.
-class EnvFactory {
- public:
-  EnvFactory(std::string circuit_name, const circuit::Technology& tech,
-             env::IndexMode mode, int calib_samples, Rng& rng,
-             std::shared_ptr<env::EvalService> svc = nullptr)
-      : name_(std::move(circuit_name)),
-        tech_(tech),
-        mode_(mode),
-        svc_(std::move(svc)) {
-    env::SizingEnv probe(circuits::make_benchmark(name_, tech_), mode_,
-                         svc_);
-    probe.calibrate(calib_samples, rng);
-    fom_ = probe.bench().fom;
-  }
+// Calibrated env factory + lockstep group (see api/task.hpp).
+using api::EnvFactory;
+using api::LockstepGroup;
+using api::LockstepSpec;
 
-  // Env on the factory's own service (private per-env when none was set).
-  [[nodiscard]] std::unique_ptr<env::SizingEnv> make() const {
-    return make(svc_);
-  }
+// Seed sweeps and single runs, method-dispatched via the MethodRegistry.
+using api::run_method;
+using api::sweep;
+using api::sweep_chained;
+using api::SweepResult;
 
-  // Env on an explicit shared service (sweep() uses this to put all S
-  // seed-envs of a lockstep group on one service).
-  [[nodiscard]] std::unique_ptr<env::SizingEnv> make(
-      std::shared_ptr<env::EvalService> svc) const {
-    auto bc = circuits::make_benchmark(name_, tech_);
-    bc.fom = fom_;
-    return std::make_unique<env::SizingEnv>(std::move(bc), mode_,
-                                            std::move(svc));
-  }
-
-  [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] const env::FomSpec& fom() const { return fom_; }
-  [[nodiscard]] const std::shared_ptr<env::EvalService>& service() const {
-    return svc_;
-  }
-
- private:
-  std::string name_;
-  circuit::Technology tech_;
-  env::IndexMode mode_;
-  env::FomSpec fom_;
-  std::shared_ptr<env::EvalService> svc_;
-};
-
-// One (agent config, RNG, optional weight source) spec of a lockstep
-// group. `setup`, when set, runs on the freshly built env before the agent
-// is constructed (e.g. to tweak the FoM spec per pair); `copy_from`, when
-// non-null, seeds the agent's weights from a pretrained agent.
-struct LockstepSpec {
-  rl::DdpgConfig cfg;
-  Rng rng;
-  rl::DdpgAgent* copy_from = nullptr;
-  std::function<void(env::SizingEnv&)> setup;
-};
-
-// S (env, agent) pairs built from one factory onto one shared EvalService
-// (the factory's, or a group-local one when the factory has none), stepped
-// together through rl::run_ddpg_lockstep. The group owns its envs and
-// agents — pretraining harnesses keep it alive and hand its agents to
-// later groups as `copy_from` sources.
-class LockstepGroup {
- public:
-  LockstepGroup(const EnvFactory& factory, std::vector<LockstepSpec> specs);
-
-  std::vector<rl::RunResult> run(int steps);
-
-  [[nodiscard]] std::size_t size() const { return agents_.size(); }
-  [[nodiscard]] rl::DdpgAgent& agent(std::size_t i) { return *agents_[i]; }
-  [[nodiscard]] env::SizingEnv& env(std::size_t i) { return *envs_[i]; }
-
- private:
-  std::vector<std::unique_ptr<env::SizingEnv>> envs_;
-  std::vector<std::unique_ptr<rl::DdpgAgent>> agents_;
-};
+// Reporting helpers.
+using api::eval_banner;
+using api::pm;
+using api::service_usage;
 
 // Thin forwarder to rl::run_optimizer's simulated-cost overload: stops
 // once `sim_budget` simulations have been charged (<= 0: step budget
 // only). Kept as a named entry point because "the budgeted BO/MACE run"
-// is a concept of the paper's protocol, not of the RL layer. Replaces the
-// retired run_optimizer_timed wall-clock deadline.
+// is a concept of the paper's protocol, not of the RL layer.
 rl::RunResult run_optimizer_budgeted(env::SizingEnv& env, opt::Optimizer& opt,
                                      int steps, long sim_budget);
 
-// The black-box baseline behind a method name ("ES" / "BO" / "MACE").
+// The black-box baseline behind a method name ("ES" / "BO" / "MACE", or
+// any user-registered AskTell method).
 std::unique_ptr<opt::Optimizer> make_optimizer(const std::string& method,
                                                int dim, Rng rng);
-
-// One-line description of the evaluation engine configuration (thread
-// count + cache capacity from GCNRL_EVAL_THREADS / GCNRL_EVAL_CACHE),
-// printed by every harness so logged tables are self-describing.
-std::string eval_banner();
-
-// One-line service-usage summary (service-wide totals — per-seed numbers
-// come from the per-env counters / RunResult, never from these totals).
-std::string service_usage(const env::EvalService& svc);
-
-// One (method, seed) run. `sim_budget` is the simulated cost of the
-// matching ES run (RunResult::sims), used as the BO/MACE stopping budget
-// (<= 0: step budget only; other methods ignore it). A non-null `svc`
-// overrides the factory's service for this run's env.
-rl::RunResult run_method(const std::string& method, const EnvFactory& factory,
-                         int steps, int warmup, std::uint64_t seed,
-                         long sim_budget, const rl::DdpgConfig& base_cfg = {},
-                         std::shared_ptr<env::EvalService> svc = nullptr);
-
-// Seed sweep: returns best-FoM per seed plus the traces and the per-seed
-// simulated cost (RunResult::sims — the budget currency).
-//
-// All S seeds share one EvalService (the factory's, or a sweep-local one
-// when the factory has none) and advance in lockstep: the RL methods
-// through rl::run_ddpg_lockstep, the ask/tell black-box methods
-// (ES/BO/MACE) through rl::run_optimizer_lockstep — S proposers merging
-// each round's populations into one S-wide simulation batch — so
-// GCNRL_EVAL_THREADS parallelizes across seeds for every method. Random
-// keeps its per-seed loop (its 64-design chunks already saturate the
-// pool). Per-seed traces are bit-identical to serial per-seed runs.
-//
-// `sim_budgets`, when non-empty, must hold one simulated-cost budget per
-// seed (BO/MACE: seed s stops at sim_budgets[s], the sims of the matching
-// ES seed); empty means step budgets only.
-struct SweepResult {
-  std::vector<double> best;             // per seed
-  std::vector<std::vector<double>> traces;
-  std::vector<long> sims;               // per-seed simulated cost
-  double mean = 0.0;
-  double stddev = 0.0;
-};
-SweepResult sweep(const std::string& method, const EnvFactory& factory,
-                  int steps, int warmup, int seeds,
-                  std::span<const long> sim_budgets = {},
-                  const rl::DdpgConfig& base_cfg = {});
-
-// sweep() plus the budget-chain rule in one place: an ES sweep records its
-// per-seed sims into `es_sims`, BO/MACE sweeps consume them as stopping
-// budgets, every other method ignores the chain. Call per method, in an
-// order that puts ES before BO/MACE.
-SweepResult sweep_chained(const std::string& method, const EnvFactory& factory,
-                          int steps, int warmup, int seeds,
-                          std::vector<long>& es_sims,
-                          const rl::DdpgConfig& base_cfg = {});
-
-// "mean +/- std" cell formatting used by all tables.
-std::string pm(double mean, double stddev, int precision = 3);
 
 }  // namespace gcnrl::bench

@@ -2,7 +2,12 @@
 // for all methods on all four circuits. Emits one CSV per circuit
 // (fig5_<circuit>.csv: column per method, row per evaluation step) and an
 // ASCII summary of the FoM at several checkpoints.
+//
+// Like table1, the experiment is a declarative task list executed by
+// api::run_tasks (shared service, lockstep seeds, automatic ES -> BO/MACE
+// budget chaining); this harness only aggregates traces and writes CSVs.
 #include <cstdio>
+#include <map>
 
 #include "common.hpp"
 
@@ -10,8 +15,6 @@ using namespace gcnrl;
 
 int main() {
   const BenchConfig cfg = bench_config();
-  const auto tech = circuit::make_technology("180nm");
-  Rng rng(2024);
   const int seeds = std::max(1, cfg.seeds - 1);  // curves: 1 fewer seed
   const auto svc =
       std::make_shared<env::EvalService>(env::eval_config_from_env());
@@ -19,22 +22,42 @@ int main() {
   std::printf("Fig 5: learning curves (steps=%d, seeds=%d)\n%s\n\n",
               cfg.steps, seeds, bench::eval_banner().c_str());
 
+  std::vector<api::TaskSpec> tasks;
   for (const auto& circuit_name : circuits::benchmark_names()) {
-    bench::EnvFactory factory(circuit_name, tech, env::IndexMode::OneHot,
-                              cfg.calib_samples, rng, svc);
-    std::map<std::string, std::vector<double>> mean_trace;
-    std::vector<long> es_sims;  // per-seed BO/MACE simulated-cost budgets
     for (const auto& method : bench::kMethods) {
-      const auto sw = bench::sweep_chained(method, factory, cfg.steps,
-                                           cfg.warmup, seeds, es_sims);
+      api::TaskSpec t;
+      t.circuit = circuit_name;
+      t.method = method;
+      t.steps = cfg.steps;
+      t.warmup = cfg.warmup;
+      t.seeds = seeds;
+      tasks.push_back(t);
+    }
+  }
+  api::RunOptions opts;
+  opts.service = svc;
+  opts.calib_samples = cfg.calib_samples;
+  // Progress note on stderr: all tasks finish together under the merged
+  // lockstep plan; stdout stays byte-reproducible.
+  std::fprintf(stderr, "running %zu tasks through api::run_tasks; curves "
+               "print on completion...\n", tasks.size());
+  const auto results = api::run_tasks(tasks, opts);
+
+  std::size_t next = 0;
+  for (const auto& circuit_name : circuits::benchmark_names()) {
+    std::map<std::string, std::vector<double>> mean_trace;
+    for (const auto& method : bench::kMethods) {
+      const api::TaskResult& sw = results[next++];
       // Mean best-so-far trace across seeds (traces may differ in length
       // for the sim-budgeted BO methods; use the shortest).
-      std::size_t len = sw.traces.front().size();
-      for (const auto& t : sw.traces) len = std::min(len, t.size());
+      std::size_t len = sw.runs.front().best_trace.size();
+      for (const auto& r : sw.runs) len = std::min(len, r.best_trace.size());
       std::vector<double> mean(len, 0.0);
-      const auto n_traces = static_cast<double>(sw.traces.size());
-      for (const auto& t : sw.traces) {
-        for (std::size_t i = 0; i < len; ++i) mean[i] += t[i] / n_traces;
+      const auto n_traces = static_cast<double>(sw.runs.size());
+      for (const auto& r : sw.runs) {
+        for (std::size_t i = 0; i < len; ++i) {
+          mean[i] += r.best_trace[i] / n_traces;
+        }
       }
       mean_trace[method] = std::move(mean);
       std::printf("  %-10s %-7s final %.3f\n", circuit_name.c_str(),

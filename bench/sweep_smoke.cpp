@@ -1,19 +1,20 @@
-// End-to-end smoke + determinism gate for the budgeted bench::sweep path.
+// End-to-end smoke + determinism gate for the budgeted task-planner path.
 //
-// Runs a tiny table1-style budgeted sweep (ES -> sim-cost budgets ->
-// BO/MACE, plus GCN-RL through the DDPG lockstep engine) TWICE on one
-// shared EvalService, with the method order permuted between the passes.
-// The second pass starts with a cache fully warmed by the first, and ES
-// no longer runs first — under the retired wall-clock budgets exactly this
-// warmth deflated the measured ES budget and changed the BO/MACE rows.
-// With simulated-cost budgets both passes must render byte-identical
-// method tables, at any GCNRL_EVAL_THREADS (the ctest jobs run this at 1
-// and at 4 threads, and CI additionally diffs two whole invocations at
-// 4). Exits non-zero on any shape mismatch or pass divergence.
+// Runs a tiny table1-style budgeted task list (ES -> sim-cost budgets ->
+// BO/MACE, plus GCN-RL through the DDPG lockstep engine) TWICE through
+// api::run_tasks on one shared EvalService, with the task order permuted
+// between the passes — pass 2 even lists BO/MACE BEFORE their ES budget
+// source, exercising the planner's order-independent chain resolution.
+// The second pass starts with a cache fully warmed by the first; under
+// the retired wall-clock budgets exactly this warmth deflated the
+// measured ES budget and changed the BO/MACE rows. With simulated-cost
+// budgets both passes must render byte-identical per-(method, seed) rows,
+// at any GCNRL_EVAL_THREADS (the ctest jobs run this at 1 and at 4
+// threads, and CI additionally diffs two whole invocations at 4). Exits
+// non-zero on any shape mismatch or pass divergence.
 //
 // Usage: sweep_smoke [steps] [seeds]
 #include <algorithm>
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,23 +25,6 @@
 using namespace gcnrl;
 
 namespace {
-
-// FNV-1a over the printable form of a trace: a stable fingerprint that
-// keeps the emitted table small but still pins every committed FoM.
-std::string trace_fingerprint(const std::vector<double>& trace) {
-  std::uint64_t h = 1469598103934665603ULL;
-  char buf[32];
-  for (const double v : trace) {
-    const int len = std::snprintf(buf, sizeof(buf), "%.17g", v);
-    for (int i = 0; i < len; ++i) {
-      h ^= static_cast<unsigned char>(buf[i]);
-      h *= 1099511628211ULL;
-    }
-  }
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
-}
 
 struct PassResult {
   std::vector<std::string> rows;  // one rendered row per (method, seed)
@@ -63,25 +47,40 @@ struct PassResult {
   }
 };
 
-// One budgeted sweep pass in the given method order. ES must precede
-// BO/MACE within a pass (it is their budget source); everything else may
-// come in any order.
-PassResult run_pass(const bench::EnvFactory& factory,
+// One budgeted pass: the methods as one declarative task list, in the
+// given order, through api::run_tasks. The planner stages the budget
+// chain itself, so BO/MACE may precede ES in the list.
+PassResult run_pass(const std::shared_ptr<env::EvalService>& svc,
                     const std::vector<std::string>& methods, int steps,
-                    int warmup, int seeds) {
+                    int warmup, int seeds, int calib) {
   PassResult out;
-  std::vector<long> es_sims;
+  std::vector<api::TaskSpec> tasks;
   for (const std::string& method : methods) {
-    const bool budgeted = method == "BO" || method == "MACE";
-    const auto sw = bench::sweep_chained(method, factory, steps, warmup,
-                                         seeds, es_sims);
+    api::TaskSpec t;
+    t.circuit = "Two-TIA";
+    t.method = method;
+    t.steps = steps;
+    t.warmup = warmup;
+    t.seeds = seeds;
+    tasks.push_back(t);
+  }
+  api::RunOptions opts;
+  opts.service = svc;
+  opts.calib_samples = calib;
+  const auto results = api::run_tasks(tasks, opts);
+
+  for (const api::TaskResult& sw : results) {
+    const std::string& method = sw.spec.method;
+    const bool budgeted =
+        !api::method_info(method).budget_from.empty();
     // Step-budgeted methods commit exactly `steps` evaluations; the
     // sim-budgeted ones may stop earlier but never come back empty.
     const std::size_t n = static_cast<std::size_t>(seeds);
-    bool shape_ok = sw.traces.size() == n && sw.best.size() == n &&
+    bool shape_ok = sw.runs.size() == n && sw.best.size() == n &&
                     sw.sims.size() == n;
-    for (const auto& t : sw.traces) {
-      if (budgeted ? t.empty() : t.size() != static_cast<std::size_t>(steps)) {
+    for (const auto& r : sw.runs) {
+      if (budgeted ? r.best_trace.empty()
+                   : r.best_trace.size() != static_cast<std::size_t>(steps)) {
         shape_ok = false;
       }
     }
@@ -93,14 +92,13 @@ PassResult run_pass(const bench::EnvFactory& factory,
       continue;
     }
     for (int s = 0; s < seeds; ++s) {
+      const auto& run = sw.runs[static_cast<std::size_t>(s)];
       char row[160];
       std::snprintf(row, sizeof(row),
                     "  %-7s seed=%d best=%.17g sims=%ld trace[%zu]=%s\n",
-                    method.c_str(), s, sw.best[static_cast<std::size_t>(s)],
-                    sw.sims[static_cast<std::size_t>(s)],
-                    sw.traces[static_cast<std::size_t>(s)].size(),
-                    trace_fingerprint(sw.traces[static_cast<std::size_t>(s)])
-                        .c_str());
+                    method.c_str(), s, run.best_fom, run.sims,
+                    run.best_trace.size(),
+                    api::trace_fingerprint(run.best_trace).c_str());
       out.rows.emplace_back(row);
     }
   }
@@ -114,22 +112,20 @@ int main(int argc, char** argv) {
   const int seeds = argc > 2 ? std::atoi(argv[2]) : 2;
   const int warmup = steps / 2;
   const int calib = 32;
-  const auto tech = circuit::make_technology("180nm");
-  Rng rng(2024);
   const auto svc =
       std::make_shared<env::EvalService>(env::eval_config_from_env());
 
   std::printf("sweep smoke: Two-TIA, steps=%d, seeds=%d\n%s\n", steps, seeds,
               bench::eval_banner().c_str());
 
-  bench::EnvFactory factory("Two-TIA", tech, env::IndexMode::OneHot, calib,
-                            rng, svc);
-  // Pass 1 cold, ES first; pass 2 on the now-warm cache with the RL method
-  // (and the whole first pass) ahead of ES.
-  const PassResult pass1 = run_pass(
-      factory, {"ES", "BO", "MACE", "GCN-RL"}, steps, warmup, seeds);
-  const PassResult pass2 = run_pass(
-      factory, {"GCN-RL", "ES", "MACE", "BO"}, steps, warmup, seeds);
+  // Pass 1 cold, ES first; pass 2 on the now-warm cache with the RL
+  // method first and the budget consumers listed BEFORE their ES source.
+  const PassResult pass1 =
+      run_pass(svc, {"ES", "BO", "MACE", "GCN-RL"}, steps, warmup, seeds,
+               calib);
+  const PassResult pass2 =
+      run_pass(svc, {"GCN-RL", "BO", "MACE", "ES"}, steps, warmup, seeds,
+               calib);
 
   const bool identical = pass1.canonical() == pass2.canonical();
   const int failures = pass1.shape_failures + pass2.shape_failures +

@@ -8,6 +8,11 @@
 // simulation count, so the emitted table is bit-reproducible run-to-run.
 // Scale with GCNRL_FULL=1 / GCNRL_STEPS / GCNRL_SEEDS / GCNRL_CALIB (see
 // DESIGN.md); defaults reproduce the ordering in minutes.
+//
+// The whole experiment is one declarative task list handed to
+// api::run_tasks: the planner calibrates each circuit once, chains the
+// BO/MACE budgets off the matching ES tasks automatically, and advances
+// every (task, seed) pair in lockstep on one shared EvalService.
 #include <cstdio>
 #include <map>
 
@@ -37,8 +42,6 @@ const std::map<std::string, std::map<std::string, double>> kPaperFoM = {
 
 int main() {
   const BenchConfig cfg = bench_config();
-  const auto tech = circuit::make_technology("180nm");
-  Rng rng(2024);
   const auto svc =
       std::make_shared<env::EvalService>(env::eval_config_from_env());
 
@@ -50,31 +53,53 @@ int main() {
       cfg.steps, cfg.warmup, cfg.seeds, cfg.calib_samples,
       bench::eval_banner().c_str());
 
+  // The experiment as data: per circuit, the human anchor plus one sweep
+  // task per method. BO/MACE need no explicit budgets — run_tasks chains
+  // them off the ES task of the same circuit.
+  std::vector<api::TaskSpec> tasks;
+  for (const auto& circuit_name : circuits::benchmark_names()) {
+    api::TaskSpec base;
+    base.circuit = circuit_name;
+    base.steps = cfg.steps;
+    base.warmup = cfg.warmup;
+    base.seeds = cfg.seeds;
+    {
+      api::TaskSpec human = base;
+      human.method = "Human";
+      human.seeds = 1;
+      tasks.push_back(human);
+    }
+    for (const auto& method : bench::kMethods) {
+      api::TaskSpec t = base;
+      t.method = method;
+      tasks.push_back(t);
+    }
+  }
+  api::RunOptions opts;
+  opts.service = svc;
+  opts.calib_samples = cfg.calib_samples;
+  // Progress note on stderr: the merged lockstep plan finishes all tasks
+  // together, so per-cell rows only appear (on stdout, which stays
+  // byte-reproducible) once everything is done.
+  std::fprintf(stderr, "running %zu tasks through api::run_tasks; rows "
+               "print on completion...\n", tasks.size());
+  const auto results = api::run_tasks(tasks, opts);
+
   TextTable table({"Method", "Two-TIA", "Two-Volt", "Three-TIA", "LDO"});
   std::map<std::string, std::map<std::string, std::string>> cells;
-
-  for (const auto& circuit_name : circuits::benchmark_names()) {
-    bench::EnvFactory factory(circuit_name, tech, env::IndexMode::OneHot,
-                              cfg.calib_samples, rng, svc);
-    // Human anchor.
-    {
-      auto env = factory.make();
-      const auto h = env->evaluate_params(env->bench().human_expert);
-      cells["Human"][circuit_name] =
-          TextTable::num(h.fom, 3) + " [" +
-          TextTable::num(kPaperFoM.at(circuit_name).at("Human"), 3) + "]";
+  for (const auto& r : results) {
+    const std::string& method = r.spec.method;
+    const std::string& circuit_name = r.spec.circuit;
+    const double paper = kPaperFoM.at(circuit_name).at(method);
+    if (method == "Human") {
+      cells[method][circuit_name] = TextTable::num(r.best.front(), 3) +
+                                    " [" + TextTable::num(paper, 3) + "]";
+      continue;
     }
-    std::vector<long> es_sims;  // per-seed BO/MACE simulated-cost budgets
-    for (const auto& method : bench::kMethods) {
-      const auto sw = bench::sweep_chained(method, factory, cfg.steps,
-                                           cfg.warmup, cfg.seeds, es_sims);
-      cells[method][circuit_name] =
-          bench::pm(sw.mean, sw.stddev) + " [" +
-          TextTable::num(kPaperFoM.at(circuit_name).at(method), 3) + "]";
-      std::printf("  %-10s %-9s %s\n", circuit_name.c_str(), method.c_str(),
-                  cells[method][circuit_name].c_str());
-      std::fflush(stdout);
-    }
+    cells[method][circuit_name] =
+        bench::pm(r.mean, r.stddev) + " [" + TextTable::num(paper, 3) + "]";
+    std::printf("  %-10s %-9s %s\n", circuit_name.c_str(), method.c_str(),
+                cells[method][circuit_name].c_str());
   }
 
   std::printf("\n");

@@ -1,90 +1,52 @@
 // Compare all optimization methods on one circuit with a small budget —
-// a minimal version of the Table I experiment for interactive use.
+// a minimal version of the Table I experiment for interactive use, and
+// the smallest end-to-end demo of the task facade: every registered
+// method becomes one TaskSpec, api::run_tasks shares one calibration and
+// one evaluation service across all of them, and BO/MACE automatically
+// stop at the matching ES run's simulated cost (the paper's budget rule).
 //
 // Usage: compare_optimizers [circuit] [steps]
-//        circuit in {Two-TIA, Two-Volt, Three-TIA, LDO}; default Two-TIA.
+//        circuit: any registered name (default Two-TIA; see
+//        api::circuit_names() / the inspect_benchmarks example).
 #include <cstdio>
 
-#include "circuits/benchmark_circuits.hpp"
+#include "api/api.hpp"
 #include "common/table.hpp"
-#include "opt/bayes_opt.hpp"
-#include "opt/cma_es.hpp"
-#include "opt/mace.hpp"
-#include "rl/run_loop.hpp"
 
 using namespace gcnrl;
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "Two-TIA";
   const int steps = argc > 2 ? std::atoi(argv[2]) : 300;
-  const auto tech = circuit::make_technology("180nm");
 
-  // One calibration shared by all methods.
-  env::SizingEnv probe(circuits::make_benchmark(name, tech));
-  Rng rng(1);
-  probe.calibrate(200, rng);
-  const env::FomSpec fom = probe.bench().fom;
-  auto fresh_env = [&] {
-    auto bc = circuits::make_benchmark(name, tech);
-    bc.fom = fom;
-    return env::SizingEnv(std::move(bc));
-  };
+  // One task per registered method — Human, Random, ES, BO, MACE, NG-RL,
+  // GCN-RL out of the box, plus anything user code registered.
+  std::vector<api::TaskSpec> tasks;
+  for (const std::string& method : api::method_names()) {
+    api::TaskSpec t;
+    t.circuit = name;
+    t.method = method;
+    t.steps = steps;
+    t.warmup = steps / 3;
+    tasks.push_back(t);
+  }
+  api::RunOptions opts;
+  opts.calib_samples = 200;
+  const auto results = api::run_tasks(tasks, opts);
 
-  // Evals counts requested evaluations; Sims the simulator runs actually
-  // executed — the difference was served by the EvalService result cache.
+  // Evals counts requested evaluations; Sims the run's simulated cost —
+  // the difference was served by the EvalService result cache.
   TextTable table({"Method", "Best FoM", "Evals", "Sims"});
-  {
-    auto e = fresh_env();
-    const auto h = e.evaluate_params(e.bench().human_expert);
-    table.add_row({"Human", TextTable::num(h.fom, 3), "-", "-"});
-  }
-  {
-    auto e = fresh_env();
-    const auto r = rl::run_random(e, steps, Rng(2));
-    table.add_row({"Random", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals()),
-                   std::to_string(e.num_sims())});
-  }
-  {
-    auto e = fresh_env();
-    opt::CmaEs es(e.flat_dim(), Rng(3));
-    const auto r = rl::run_optimizer(e, es, steps);
-    table.add_row({"ES (CMA-ES)", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals()),
-                   std::to_string(e.num_sims())});
-  }
-  {
-    auto e = fresh_env();
-    opt::BayesOpt bo(e.flat_dim(), Rng(4));
-    const auto r = rl::run_optimizer(e, bo, std::min(steps, 150));
-    table.add_row({"BO", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals()),
-                   std::to_string(e.num_sims())});
-  }
-  {
-    auto e = fresh_env();
-    opt::Mace mace(e.flat_dim(), Rng(5));
-    const auto r = rl::run_optimizer(e, mace, std::min(steps, 150));
-    table.add_row({"MACE", TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals()),
-                   std::to_string(e.num_sims())});
-  }
-  for (const bool use_gcn : {false, true}) {
-    auto e = fresh_env();
-    rl::DdpgConfig cfg;
-    cfg.warmup = steps / 3;
-    cfg.use_gcn = use_gcn;
-    rl::DdpgAgent agent(e.state(), e.adjacency(), e.kinds(), cfg, Rng(6));
-    const auto r = rl::run_ddpg(e, agent, steps);
-    table.add_row({use_gcn ? "GCN-RL" : "NG-RL",
-                   TextTable::num(r.best_fom, 3),
-                   std::to_string(e.num_evals()),
-                   std::to_string(e.num_sims())});
+  for (const auto& r : results) {
+    const auto& run = r.runs.front();
+    const bool anchor = r.spec.method == "Human";
+    table.add_row({r.spec.method, TextTable::num(run.best_fom, 3),
+                   anchor ? "-" : std::to_string(run.evals),
+                   anchor ? "-" : std::to_string(run.sims)});
   }
 
-  const auto ecfg = env::eval_config_from_env();
-  std::printf("%s @ 180nm, %d evaluations, eval threads=%d (FoM max %.1f)\n\n",
-              name.c_str(), steps, ecfg.threads, fom.max_fom());
+  std::printf("%s @ 180nm, %d evaluations per method\n%s\n\n", name.c_str(),
+              steps, api::eval_banner().c_str());
   table.print();
   return 0;
 }

@@ -1,15 +1,17 @@
-// Quickstart: size the two-stage transimpedance amplifier with GCN-RL.
+// Quickstart: size the two-stage transimpedance amplifier with GCN-RL,
+// entirely through the public task facade (api/api.hpp):
 //
-//   1. Build the benchmark circuit at a technology node.
-//   2. Wrap it in a SizingEnv and calibrate the FoM normalizers.
-//   3. Train a GCN-RL (DDPG) agent for a few hundred episodes.
-//   4. Print the best design found and its measured performance.
+//   1. Describe the experiment as a TaskSpec (circuit, method, budget).
+//   2. api::run_tasks calibrates the FoM, trains a GCN-RL (DDPG) agent,
+//      and returns the per-seed RunResults — one shared evaluation
+//      service, deterministic at any GCNRL_EVAL_THREADS.
+//   3. Print the best design found and its measured performance.
 //
 // Usage: quickstart [steps] [node]   (default: 300 steps @ 180nm)
 #include <cstdio>
 
-#include "circuits/benchmark_circuits.hpp"
-#include "rl/run_loop.hpp"
+#include "api/api.hpp"
+#include "circuit/tech.hpp"
 
 using namespace gcnrl;
 
@@ -17,48 +19,45 @@ int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 300;
   const std::string node = argc > 2 ? argv[2] : "180nm";
 
-  // 1-2. Circuit -> environment -> calibration. The env's EvalService
-  // picks up GCNRL_EVAL_THREADS (default: serial) and batches the
-  // calibration sweep across its workers.
-  const auto tech = circuit::make_technology(node);
-  env::SizingEnv env(circuits::make_two_tia(tech));
-  Rng rng(42);
-  std::printf("Calibrating FoM normalizers (random sampling, %d threads)...\n",
-              env.eval_threads());
-  env.calibrate(200, rng);
+  // 1. The experiment as data: the human-expert anchor plus one GCN-RL
+  // training run on the same circuit/node (sharing one calibration).
+  api::TaskSpec human;
+  human.circuit = "Two-TIA";
+  human.method = "Human";
+  human.node = node;
+  api::TaskSpec train = human;
+  train.method = "GCN-RL";
+  train.steps = steps;
+  train.warmup = std::min(100, steps / 3);
 
-  // Reference points.
-  const auto human = env.evaluate_params(env.bench().human_expert);
-  std::printf("Human-expert FoM: %.3f (max attainable %.1f)\n", human.fom,
-              env.bench().fom.max_fom());
+  api::RunOptions opts;
+  opts.calib_samples = 200;
 
-  // 3. GCN-RL agent (Algorithm 1 of the paper).
-  rl::DdpgConfig cfg;
-  cfg.warmup = std::min(100, steps / 3);
-  rl::DdpgAgent agent(env.state(), env.adjacency(), env.kinds(), cfg,
-                      rng.split());
-  std::printf("Training GCN-RL for %d episodes...\n", steps);
-  // Counter snapshot: num_evals/num_sims/cache_hits are env-lifetime
-  // totals (calibration included), so report training-run deltas.
-  const long evals0 = env.num_evals();
-  const long sims0 = env.num_sims();
-  const long hits0 = env.cache_hits();
-  const auto result = rl::run_ddpg(env, agent, steps);
+  // 2. Run. The service is created from GCNRL_EVAL_THREADS (default:
+  // serial); calibration and training batches share its thread pool.
+  std::printf("Sizing %s at %s with %s (%d steps)...\n%s\n",
+              train.circuit.c_str(), node.c_str(), train.method.c_str(),
+              steps, api::eval_banner().c_str());
+  const auto results = api::run_tasks({human, train}, opts);
+  const auto& anchor = results[0].runs[0];
+  const auto& run = results[1].runs[0];
 
-  // 4. Report.
-  std::printf("\nBest FoM after %d episodes: %.3f\n", steps,
-              result.best_fom);
+  // 3. Report.
+  const auto bench = api::build_circuit(train.circuit,
+                                        circuit::make_technology(node));
+  std::printf("Human-expert FoM: %.3f (max attainable %.1f)\n",
+              anchor.best_fom, bench.fom.max_fom());
+  std::printf("\nBest FoM after %d episodes: %.3f\n", steps, run.best_fom);
   std::printf("Evaluations: %ld requested, %ld simulated, %ld cache hits\n",
-              env.num_evals() - evals0, env.num_sims() - sims0,
-              env.cache_hits() - hits0);
+              run.evals, run.sims, run.cache_hits);
   std::printf("Best design metrics:\n");
-  for (const auto& [k, v] : result.best_metrics) {
+  for (const auto& [k, v] : run.best_metrics) {
     std::printf("  %-8s = %.6g\n", k.c_str(), v);
   }
   std::printf("\nBest sizing:\n");
-  const auto params = env.bench().space.refine(result.best_actions);
-  for (int i = 0; i < env.n(); ++i) {
-    const auto& cs = env.bench().space.comp(i);
+  const auto params = bench.space.refine(run.best_actions);
+  for (int i = 0; i < bench.space.num_components(); ++i) {
+    const auto& cs = bench.space.comp(i);
     if (cs.nparams() == 3) {
       std::printf("  %-6s W=%6.2f um  L=%5.3f um  M=%2d\n", cs.name.c_str(),
                   params.v[i][0] * 1e6, params.v[i][1] * 1e6,

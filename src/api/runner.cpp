@@ -1,0 +1,451 @@
+// Implementation of the task planner (run_tasks) and the per-factory
+// building blocks it is made of (EnvFactory, LockstepGroup, run_method,
+// sweep). One internal engine — run_group() — executes a set of planned
+// tasks on a shared EvalService; sweep() feeds it a single task and
+// run_tasks() a whole heterogeneous stage, so the two paths are
+// structurally identical and per-task results cannot diverge between
+// them.
+#include "api/task.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/tech.hpp"
+#include "common/table.hpp"
+#include "la/stats.hpp"
+
+namespace gcnrl::api {
+
+EnvFactory::EnvFactory(std::string circuit_name,
+                       const circuit::Technology& tech, env::IndexMode mode,
+                       int calib_samples, Rng& rng,
+                       std::shared_ptr<env::EvalService> svc)
+    : name_(std::move(circuit_name)),
+      tech_(tech),
+      mode_(mode),
+      svc_(std::move(svc)) {
+  env::SizingEnv probe(build_circuit(name_, tech_), mode_, svc_);
+  probe.calibrate(calib_samples, rng);
+  fom_ = probe.bench().fom;
+}
+
+std::unique_ptr<env::SizingEnv> EnvFactory::make() const { return make(svc_); }
+
+std::unique_ptr<env::SizingEnv> EnvFactory::make(
+    std::shared_ptr<env::EvalService> svc) const {
+  auto bc = build_circuit(name_, tech_);
+  bc.fom = fom_;
+  return std::make_unique<env::SizingEnv>(std::move(bc), mode_,
+                                          std::move(svc));
+}
+
+LockstepGroup::LockstepGroup(const EnvFactory& factory,
+                             std::vector<LockstepSpec> specs) {
+  // All pairs share one service so run_ddpg_lockstep batches them as one
+  // group (it would transparently split them otherwise).
+  std::shared_ptr<env::EvalService> svc = factory.service();
+  if (!svc) {
+    svc = std::make_shared<env::EvalService>(env::eval_config_from_env());
+  }
+  for (LockstepSpec& spec : specs) {
+    envs_.push_back(factory.make(svc));
+    if (spec.setup) spec.setup(*envs_.back());
+    agents_.push_back(std::make_unique<rl::DdpgAgent>(
+        envs_.back()->state(), envs_.back()->adjacency(),
+        envs_.back()->kinds(), spec.cfg, spec.rng));
+    if (spec.copy_from != nullptr) {
+      agents_.back()->copy_weights_from(*spec.copy_from);
+    }
+  }
+}
+
+std::vector<rl::RunResult> LockstepGroup::run(int steps) {
+  std::vector<env::SizingEnv*> env_ptrs;
+  std::vector<rl::DdpgAgent*> agent_ptrs;
+  env_ptrs.reserve(envs_.size());
+  agent_ptrs.reserve(agents_.size());
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    env_ptrs.push_back(envs_[i].get());
+    agent_ptrs.push_back(agents_[i].get());
+  }
+  return rl::run_ddpg_lockstep(env_ptrs, agent_ptrs, steps);
+}
+
+std::uint64_t seed_of(int s) {
+  return 1000 + 7919 * static_cast<std::uint64_t>(s);
+}
+
+namespace {
+
+// An Anchor run: the human-expert sizing through the identical refine ->
+// simulate -> FoM pipeline, wrapped as a one-evaluation RunResult. sims is
+// charged as 1 unconditionally (the run's isolated simulated cost), never
+// from the live cache state, so anchor rows are warmth-independent like
+// every other budget number.
+rl::RunResult run_anchor(env::SizingEnv& env) {
+  const env::EvalResult r = env.evaluate_params(env.bench().human_expert);
+  rl::RunResult out;
+  out.best_fom = r.fom;
+  out.best_trace = {r.fom};
+  out.best_metrics = r.metrics;
+  out.evals = 1;
+  out.sims = 1;
+  return out;
+}
+
+// One planned task: spec + resolved method/factory/budgets + where its
+// per-seed results go.
+struct TaskPlan {
+  const TaskSpec* spec = nullptr;
+  const MethodInfo* mi = nullptr;
+  const EnvFactory* factory = nullptr;
+  std::vector<long> budgets;  // per-seed sim caps; empty = uncapped
+  std::vector<rl::RunResult>* out = nullptr;
+};
+
+// Executes a stage of planned tasks on one shared service. All DDPG-kind
+// (task, seed) pairs join one rl::run_ddpg_lockstep group and all ask/tell
+// pairs one rl::run_optimizer_lockstep group (both drivers guarantee
+// per-pair results independent of the grouping); Random and Anchor tasks
+// run their own loops on the same service. Per-task result vectors are
+// bit-identical to running each task alone at any GCNRL_EVAL_THREADS.
+void run_group(std::vector<TaskPlan>& plans,
+               const std::shared_ptr<env::EvalService>& svc) {
+  // Owned envs/agents/optimizers for the merged lockstep groups. Slot
+  // bookkeeping maps merged-result indices back to (plan, seed).
+  std::vector<std::unique_ptr<env::SizingEnv>> rl_envs;
+  std::vector<std::unique_ptr<rl::DdpgAgent>> rl_agents;
+  std::vector<int> rl_steps;
+  std::vector<std::pair<std::size_t, int>> rl_slots;
+
+  std::vector<std::unique_ptr<env::SizingEnv>> bb_envs;
+  std::vector<std::unique_ptr<opt::Optimizer>> bb_opts;
+  std::vector<rl::OptimizerPair> bb_pairs;
+  std::vector<std::pair<std::size_t, int>> bb_slots;
+
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    TaskPlan& plan = plans[p];
+    const TaskSpec& t = *plan.spec;
+    plan.out->resize(static_cast<std::size_t>(t.seeds));
+    switch (plan.mi->kind) {
+      case MethodKind::Ddpg:
+        for (int s = 0; s < t.seeds; ++s) {
+          rl_envs.push_back(plan.factory->make(svc));
+          rl::DdpgConfig cfg = t.ddpg;
+          if (plan.mi->configure) plan.mi->configure(cfg);
+          cfg.warmup = t.warmup;
+          rl_agents.push_back(std::make_unique<rl::DdpgAgent>(
+              rl_envs.back()->state(), rl_envs.back()->adjacency(),
+              rl_envs.back()->kinds(), cfg, Rng(seed_of(s))));
+          rl_steps.push_back(t.steps);
+          rl_slots.emplace_back(p, s);
+        }
+        break;
+      case MethodKind::AskTell:
+        for (int s = 0; s < t.seeds; ++s) {
+          bb_envs.push_back(plan.factory->make(svc));
+          bb_opts.push_back(plan.mi->make_optimizer(
+              bb_envs.back()->flat_dim(), Rng(seed_of(s))));
+          const long max_sims =
+              plan.budgets.empty() ? -1
+                                   : plan.budgets[static_cast<std::size_t>(s)];
+          bb_pairs.push_back(rl::OptimizerPair{bb_envs.back().get(),
+                                               bb_opts.back().get(), t.steps,
+                                               max_sims > 0 ? max_sims : -1});
+          bb_slots.emplace_back(p, s);
+        }
+        break;
+      case MethodKind::Random:
+        for (int s = 0; s < t.seeds; ++s) {
+          auto env = plan.factory->make(svc);
+          (*plan.out)[static_cast<std::size_t>(s)] =
+              rl::run_random(*env, t.steps, Rng(seed_of(s)));
+        }
+        break;
+      case MethodKind::Anchor:
+        for (int s = 0; s < t.seeds; ++s) {
+          auto env = plan.factory->make(svc);
+          (*plan.out)[static_cast<std::size_t>(s)] = run_anchor(*env);
+        }
+        break;
+    }
+  }
+
+  if (!rl_envs.empty()) {
+    std::vector<env::SizingEnv*> env_ptrs;
+    std::vector<rl::DdpgAgent*> agent_ptrs;
+    env_ptrs.reserve(rl_envs.size());
+    agent_ptrs.reserve(rl_agents.size());
+    for (std::size_t i = 0; i < rl_envs.size(); ++i) {
+      env_ptrs.push_back(rl_envs[i].get());
+      agent_ptrs.push_back(rl_agents[i].get());
+    }
+    std::vector<rl::RunResult> merged =
+        rl::run_ddpg_lockstep(env_ptrs, agent_ptrs, rl_steps);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      const auto [p, s] = rl_slots[i];
+      (*plans[p].out)[static_cast<std::size_t>(s)] = std::move(merged[i]);
+    }
+  }
+  if (!bb_pairs.empty()) {
+    std::vector<rl::RunResult> merged = rl::run_optimizer_lockstep(bb_pairs);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      const auto [p, s] = bb_slots[i];
+      (*plans[p].out)[static_cast<std::size_t>(s)] = std::move(merged[i]);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<TaskResult> run_tasks(const std::vector<TaskSpec>& tasks,
+                                  const RunOptions& opts) {
+  // --- validate + normalize ----------------------------------------------
+  std::vector<TaskSpec> specs = tasks;
+  std::vector<const MethodInfo*> infos;
+  infos.reserve(specs.size());
+  for (TaskSpec& t : specs) {
+    const MethodInfo& mi = method_info(t.method);  // throws for unknown
+    infos.push_back(&mi);
+    require_circuit(t.circuit);  // throws listing registered names
+    if (t.steps <= 0) {
+      throw std::invalid_argument("run_tasks: task \"" + t.method + "/" +
+                                  t.circuit + "\" needs steps > 0");
+    }
+    if (t.seeds <= 0) {
+      throw std::invalid_argument("run_tasks: task \"" + t.method + "/" +
+                                  t.circuit + "\" needs seeds > 0");
+    }
+    // Fail loudly rather than silently running uncapped: only ask/tell
+    // methods consume a simulated-cost cap.
+    if (t.sim_budget > 0 && mi.kind != MethodKind::AskTell) {
+      throw std::invalid_argument(
+          "run_tasks: task \"" + t.method + "/" + t.circuit +
+          "\": sim_budget applies only to ask/tell methods");
+    }
+    if (t.warmup < 0) t.warmup = 0;
+    if (t.warmup >= t.steps) t.warmup = t.steps / 3;
+    if (t.label.empty()) t.label = t.method + "/" + t.circuit + "@" + t.node;
+  }
+
+  std::shared_ptr<env::EvalService> svc = opts.service;
+  if (!svc) {
+    svc = std::make_shared<env::EvalService>(env::eval_config_from_env());
+  }
+
+  // --- calibrate: one factory per distinct (circuit, node), in first-
+  // appearance order, from one shared calibration RNG ----------------------
+  Rng calib_rng(opts.calib_seed);
+  std::vector<std::pair<std::string, std::unique_ptr<EnvFactory>>> factories;
+  const auto factory_of = [&](const TaskSpec& t) -> const EnvFactory* {
+    const std::string key = t.circuit + "\n" + t.node;
+    for (const auto& [k, f] : factories) {
+      if (k == key) return f.get();
+    }
+    return nullptr;
+  };
+  for (const TaskSpec& t : specs) {
+    if (factory_of(t) != nullptr) continue;
+    factories.emplace_back(
+        t.circuit + "\n" + t.node,
+        std::make_unique<EnvFactory>(t.circuit,
+                                     circuit::make_technology(t.node),
+                                     opts.mode, opts.calib_samples, calib_rng,
+                                     svc));
+  }
+
+  // --- plan: stage 1 = budget sources + unchained tasks, stage 2 = tasks
+  // consuming another task's simulated cost --------------------------------
+  std::vector<std::vector<rl::RunResult>> runs(specs.size());
+  const auto chained = [&](std::size_t i) {
+    return !infos[i]->budget_from.empty() && specs[i].sim_budget == 0;
+  };
+  std::vector<TaskPlan> stage1;
+  std::vector<std::size_t> stage2;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (chained(i)) {
+      stage2.push_back(i);
+      continue;
+    }
+    std::vector<long> budgets;
+    if (specs[i].sim_budget > 0) {
+      budgets.assign(static_cast<std::size_t>(specs[i].seeds),
+                     specs[i].sim_budget);
+    }
+    stage1.push_back(
+        {&specs[i], infos[i], factory_of(specs[i]), std::move(budgets),
+         &runs[i]});
+  }
+  run_group(stage1, svc);
+
+  if (!stage2.empty()) {
+    std::vector<TaskPlan> plans;
+    for (const std::size_t i : stage2) {
+      const TaskSpec& t = specs[i];
+      // The budget source: first task running the budget_from method on the
+      // same circuit/node with the same steps and seeds. Absent source =
+      // uncapped (mirrors sweep_chained with an empty budget vector).
+      std::vector<long> budgets;
+      for (std::size_t j = 0; j < specs.size(); ++j) {
+        if (j == i || specs[j].method != infos[i]->budget_from) continue;
+        if (specs[j].circuit != t.circuit || specs[j].node != t.node ||
+            specs[j].steps != t.steps || specs[j].seeds != t.seeds) {
+          continue;
+        }
+        if (chained(j)) {
+          throw std::invalid_argument(
+              "run_tasks: budget source \"" + specs[j].label +
+              "\" is itself budget-chained; only one chain level is "
+              "supported");
+        }
+        budgets.reserve(runs[j].size());
+        for (const rl::RunResult& r : runs[j]) budgets.push_back(r.sims);
+        break;
+      }
+      plans.push_back(
+          {&specs[i], infos[i], factory_of(specs[i]), std::move(budgets),
+           &runs[i]});
+    }
+    run_group(plans, svc);
+  }
+
+  // --- assemble -----------------------------------------------------------
+  std::vector<TaskResult> out;
+  out.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    TaskResult tr;
+    tr.spec = specs[i];
+    tr.runs = std::move(runs[i]);
+    for (const rl::RunResult& r : tr.runs) {
+      tr.best.push_back(r.best_fom);
+      tr.sims.push_back(r.sims);
+    }
+    tr.mean = la::mean(tr.best);
+    tr.stddev = la::stddev(tr.best);
+    out.push_back(std::move(tr));
+  }
+  return out;
+}
+
+rl::RunResult run_method(const std::string& method, const EnvFactory& factory,
+                         int steps, int warmup, std::uint64_t seed,
+                         long sim_budget, const rl::DdpgConfig& base_cfg,
+                         std::shared_ptr<env::EvalService> svc) {
+  const MethodInfo& mi = method_info(method);
+  auto env = svc ? factory.make(std::move(svc)) : factory.make();
+  Rng rng(seed);
+  switch (mi.kind) {
+    case MethodKind::Anchor:
+      return run_anchor(*env);
+    case MethodKind::Random:
+      return rl::run_random(*env, steps, rng);
+    case MethodKind::AskTell: {
+      const auto opt = mi.make_optimizer(env->flat_dim(), std::move(rng));
+      return rl::run_optimizer(*env, *opt, steps,
+                               sim_budget > 0 ? sim_budget : -1);
+    }
+    case MethodKind::Ddpg: {
+      rl::DdpgConfig cfg = base_cfg;
+      if (mi.configure) mi.configure(cfg);
+      cfg.warmup = warmup;
+      rl::DdpgAgent agent(env->state(), env->adjacency(), env->kinds(), cfg,
+                          rng);
+      return rl::run_ddpg(*env, agent, steps);
+    }
+  }
+  throw std::logic_error("run_method: unhandled method kind");
+}
+
+SweepResult sweep(const std::string& method, const EnvFactory& factory,
+                  int steps, int warmup, int seeds,
+                  std::span<const long> sim_budgets,
+                  const rl::DdpgConfig& base_cfg) {
+  if (!sim_budgets.empty() &&
+      sim_budgets.size() != static_cast<std::size_t>(seeds)) {
+    throw std::invalid_argument("sweep: need one sim budget per seed");
+  }
+  // All S seeds share one service — its thread pool and its result cache.
+  // FoM values never depend on cache state (raw metrics are cached, the
+  // FoM is recomputed per env) and budgets count run-local simulated cost
+  // (RunResult::sims, warmth-independent by construction), so every
+  // per-seed trace is bit-identical to a fully isolated run of the same
+  // seed, whatever ran on the service before.
+  std::shared_ptr<env::EvalService> svc = factory.service();
+  if (!svc) {
+    svc = std::make_shared<env::EvalService>(env::eval_config_from_env());
+  }
+  TaskSpec spec;
+  spec.circuit = factory.name();
+  spec.method = method;
+  spec.steps = steps;
+  spec.warmup = warmup;
+  spec.seeds = seeds;
+  spec.ddpg = base_cfg;
+  std::vector<rl::RunResult> results;
+  std::vector<TaskPlan> plans;
+  plans.push_back({&spec, &method_info(method), &factory,
+                   {sim_budgets.begin(), sim_budgets.end()}, &results});
+  run_group(plans, svc);
+
+  SweepResult out;
+  for (rl::RunResult& r : results) {
+    out.best.push_back(r.best_fom);
+    out.sims.push_back(r.sims);
+    out.traces.push_back(std::move(r.best_trace));
+  }
+  out.mean = la::mean(out.best);
+  out.stddev = la::stddev(out.best);
+  return out;
+}
+
+SweepResult sweep_chained(const std::string& method, const EnvFactory& factory,
+                          int steps, int warmup, int seeds,
+                          std::vector<long>& es_sims,
+                          const rl::DdpgConfig& base_cfg) {
+  const MethodInfo& mi = method_info(method);
+  const bool budgeted = !mi.budget_from.empty();
+  SweepResult sw = sweep(
+      method, factory, steps, warmup, seeds,
+      budgeted ? std::span<const long>(es_sims) : std::span<const long>{},
+      base_cfg);
+  if (method == "ES") es_sims = sw.sims;
+  return sw;
+}
+
+std::string eval_banner() {
+  const env::EvalServiceConfig cfg = env::eval_config_from_env();
+  return "eval engine: threads=" + std::to_string(cfg.threads) +
+         (cfg.threads > 1 ? " (thread pool)" : " (serial)") +
+         ", cache=" + std::to_string(cfg.cache_capacity);
+}
+
+std::string service_usage(const env::EvalService& svc) {
+  return "service totals: " + std::to_string(svc.requested()) + " evals, " +
+         std::to_string(svc.sims()) + " sims, " +
+         std::to_string(svc.cache_hits()) + " cache hits, " +
+         std::to_string(svc.threads()) + " threads";
+}
+
+std::string pm(double mean, double stddev, int precision) {
+  return TextTable::num(mean, precision) + " +/- " +
+         TextTable::num(stddev, 2);
+}
+
+std::string trace_fingerprint(std::span<const double> trace) {
+  std::uint64_t h = 1469598103934665603ULL;
+  char buf[32];
+  for (const double v : trace) {
+    const int len = std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int i = 0; i < len; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 1099511628211ULL;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace gcnrl::api

@@ -1,0 +1,59 @@
+// Declarative task-spec files for gcnrl_cli and programmatic batch runs.
+//
+// ---------------------------------------------------------------------------
+// SPEC FILE SCHEMA (minimal strict JSON — no comments, no trailing commas)
+// ---------------------------------------------------------------------------
+// {
+//   "options": {                  // optional; cross-task RunOptions
+//     "calib":      300,          // FoM calibration samples per circuit
+//     "calib_seed": 2024,         // shared calibration RNG seed
+//     "mode":       "one_hot"     // component indexing: "one_hot"|"scalar"
+//   },
+//   "tasks": [                    // required; one object per task
+//     {
+//       "circuit":  "Two-TIA",    // required; a CircuitRegistry name
+//       "method":   "GCN-RL",     // required; a MethodRegistry name
+//       "node":     "180nm",      // technology node (default "180nm")
+//       "steps":    300,          // search steps per seed (default 300)
+//       "warmup":   100,          // RL warm-up steps (default 100)
+//       "seeds":    1,            // independent seeds (default 1)
+//       "sim_budget": 0,          // simulated-cost cap per seed:
+//                                 //   0 = auto (budget_from chain),
+//                                 //  >0 = explicit cap (ask/tell methods
+//                                 //       only; rejected elsewhere),
+//                                 //  <0 = force uncapped
+//       "label":    "my-run"      // display label (default method/circuit)
+//     }
+//   ]
+// }
+// ---------------------------------------------------------------------------
+// Unknown keys anywhere are an error (fail loudly rather than silently
+// ignore a typo); so are wrong value types. Budget chains (BO/MACE
+// stopping at the matching ES seed's simulated cost) need no annotation:
+// api::run_tasks matches source tasks by (method, circuit, node, steps,
+// seeds) wherever they appear in the list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/task.hpp"
+
+namespace gcnrl::api {
+
+// A parsed spec file: cross-task options (RunOptions::service is always
+// null — the runner supplies it) plus the task list.
+struct TaskFile {
+  RunOptions options;
+  std::vector<TaskSpec> tasks;
+};
+
+// Parses spec-file text. Throws std::runtime_error with a line:column
+// position on malformed JSON and with the offending key on schema errors.
+TaskFile parse_task_spec(const std::string& text);
+
+// Reads and parses a spec file from disk; throws std::runtime_error when
+// the file cannot be read.
+TaskFile load_task_spec(const std::string& path);
+
+}  // namespace gcnrl::api

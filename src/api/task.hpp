@@ -1,0 +1,229 @@
+// The unified task surface of the library: the paper's experiment protocol
+// — "run method M on circuit C at tech node T for budget B over S seeds" —
+// expressed as data (TaskSpec) and executed by one planner (run_tasks).
+//
+// run_tasks() groups an arbitrary mix of tasks (different circuits,
+// methods, technology nodes, seed counts, budgets) onto ONE shared
+// EvalService and drives them through the existing lockstep engines:
+// every DDPG-kind (task, seed) pair joins one rl::run_ddpg_lockstep group
+// and every ask/tell pair one rl::run_optimizer_lockstep group, so
+// GCNRL_EVAL_THREADS parallelizes across everything at once. Per-task
+// results are bit-identical to running each task alone, at any thread
+// count — the lockstep drivers guarantee per-pair results independent of
+// grouping, FoM values never depend on cache state, and all budgets are
+// simulated-cost counts (warmth-independent by construction).
+//
+// Simulated-cost budget chains (the paper's Table I rule) are resolved by
+// the planner: a task whose method declares `budget_from` (BO/MACE -> ES)
+// is held back until its source task — same circuit, node, steps, and
+// seeds, anywhere in the task list, in any order — has run, then uses
+// that task's per-seed RunResult::sims as its stopping budgets. A missing
+// source simply means no simulated-cost cap (matching bench::sweep_chained
+// with an empty budget vector); an explicit TaskSpec::sim_budget > 0
+// short-circuits the chain.
+//
+// Calibration: FoM normalizers are calibrated once per distinct
+// (circuit, node) pair appearing in the task list, in first-appearance
+// order, drawing from a single Rng(RunOptions::calib_seed) — exactly the
+// protocol of the pre-existing table harnesses, so migrated harnesses
+// reproduce their numbers byte-for-byte. Corollary: task results are
+// invariant under any permutation of the task list that keeps the
+// first-appearance order of distinct (circuit, node) groups; reordering
+// the groups changes which calibration draws each circuit receives
+// (deterministically so — the same list always reproduces itself).
+//
+// The lower-level pieces (EnvFactory, LockstepGroup, sweep, run_method)
+// stay public: the transfer harnesses (tables 4/5, figs 7/8) compose them
+// directly for protocols TaskSpec does not model (pretraining, weight
+// transfer across nodes/topologies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "env/eval_service.hpp"
+#include "rl/run_loop.hpp"
+
+namespace gcnrl::api {
+
+// A calibrated environment factory: builds fresh envs for a circuit while
+// sharing one FoM calibration (normalizers must be identical across
+// methods for a comparison to be meaningful).
+//
+// When constructed with a shared EvalService, every env the factory makes
+// — including the calibration probe — evaluates through that service, so a
+// whole harness shares one thread pool and one result cache. Without one,
+// each env gets a private service from the GCNRL_EVAL_* knobs.
+class EnvFactory {
+ public:
+  EnvFactory(std::string circuit_name, const circuit::Technology& tech,
+             env::IndexMode mode, int calib_samples, Rng& rng,
+             std::shared_ptr<env::EvalService> svc = nullptr);
+
+  // Env on the factory's own service (private per-env when none was set).
+  [[nodiscard]] std::unique_ptr<env::SizingEnv> make() const;
+  // Env on an explicit shared service (the lockstep sweeps use this to put
+  // all S seed-envs of a group on one service).
+  [[nodiscard]] std::unique_ptr<env::SizingEnv> make(
+      std::shared_ptr<env::EvalService> svc) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const env::FomSpec& fom() const { return fom_; }
+  [[nodiscard]] const std::shared_ptr<env::EvalService>& service() const {
+    return svc_;
+  }
+
+ private:
+  std::string name_;
+  circuit::Technology tech_;
+  env::IndexMode mode_;
+  env::FomSpec fom_;
+  std::shared_ptr<env::EvalService> svc_;
+};
+
+// One (agent config, RNG, optional weight source) spec of a lockstep
+// group. `setup`, when set, runs on the freshly built env before the agent
+// is constructed (e.g. to tweak the FoM spec per pair); `copy_from`, when
+// non-null, seeds the agent's weights from a pretrained agent.
+struct LockstepSpec {
+  rl::DdpgConfig cfg;
+  Rng rng;
+  rl::DdpgAgent* copy_from = nullptr;
+  std::function<void(env::SizingEnv&)> setup;
+};
+
+// S (env, agent) pairs built from one factory onto one shared EvalService
+// (the factory's, or a group-local one when the factory has none), stepped
+// together through rl::run_ddpg_lockstep. The group owns its envs and
+// agents — pretraining harnesses keep it alive and hand its agents to
+// later groups as `copy_from` sources.
+class LockstepGroup {
+ public:
+  LockstepGroup(const EnvFactory& factory, std::vector<LockstepSpec> specs);
+
+  std::vector<rl::RunResult> run(int steps);
+
+  [[nodiscard]] std::size_t size() const { return agents_.size(); }
+  [[nodiscard]] rl::DdpgAgent& agent(std::size_t i) { return *agents_[i]; }
+  [[nodiscard]] env::SizingEnv& env(std::size_t i) { return *envs_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<env::SizingEnv>> envs_;
+  std::vector<std::unique_ptr<rl::DdpgAgent>> agents_;
+};
+
+// --- the task protocol ----------------------------------------------------
+
+// One experiment cell: method x circuit x node x budget x seeds. All
+// fields have usable defaults except `circuit` and `method`, which must
+// name registered entries (see registry.hpp).
+struct TaskSpec {
+  std::string circuit;         // CircuitRegistry name, e.g. "Two-TIA"
+  std::string method;          // MethodRegistry name, e.g. "GCN-RL"
+  std::string node = "180nm";  // technology node (circuit::make_technology)
+  int steps = 300;             // search steps (evaluation budget) per seed
+  int warmup = 100;            // RL warm-up steps (clamped below steps)
+  int seeds = 1;               // independent seeds (seed s uses seed_of(s))
+  // Simulated-cost cap per seed: 0 = automatic (follow the method's
+  // budget_from chain when a source task exists), > 0 = explicit cap for
+  // every seed (ask/tell methods only — run_tasks rejects it elsewhere),
+  // < 0 = force uncapped even for chained methods.
+  long sim_budget = 0;
+  rl::DdpgConfig ddpg;  // RL base config (method defaults + warmup applied)
+  std::string label;    // display label; empty -> "<method>/<circuit>"
+};
+
+// Per-task outcome: the full per-seed RunResults plus the aggregate the
+// paper's tables print.
+struct TaskResult {
+  TaskSpec spec;                    // as executed (warmup clamped, label set)
+  std::vector<rl::RunResult> runs;  // one per seed
+  std::vector<double> best;         // per-seed best FoM
+  std::vector<long> sims;           // per-seed simulated cost
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+// Cross-task execution options.
+struct RunOptions {
+  // Shared service for every env (thread pool + result cache). Null: one
+  // service is created from GCNRL_EVAL_THREADS / GCNRL_EVAL_CACHE.
+  std::shared_ptr<env::EvalService> service;
+  int calib_samples = 300;          // FoM calibration samples per circuit
+  std::uint64_t calib_seed = 2024;  // shared calibration RNG seed
+  env::IndexMode mode = env::IndexMode::OneHot;
+};
+
+// Validates, calibrates, plans, and runs `tasks`; results come back in
+// task order. Throws std::invalid_argument on unknown circuit/method
+// names or non-positive steps/seeds.
+std::vector<TaskResult> run_tasks(const std::vector<TaskSpec>& tasks,
+                                  const RunOptions& opts = {});
+
+// The canonical per-seed RNG seed of the sweep protocol (seed index s).
+[[nodiscard]] std::uint64_t seed_of(int s);
+
+// --- per-factory building blocks (the bench harness layer) ----------------
+
+// One (method, seed) run against a calibrated factory. `sim_budget` > 0
+// caps the simulated cost of ask/tell methods (<= 0: step budget only;
+// other method kinds ignore it). A non-null `svc` overrides the factory's
+// service.
+rl::RunResult run_method(const std::string& method, const EnvFactory& factory,
+                         int steps, int warmup, std::uint64_t seed,
+                         long sim_budget, const rl::DdpgConfig& base_cfg = {},
+                         std::shared_ptr<env::EvalService> svc = nullptr);
+
+// Seed sweep of one method against a calibrated factory: best-FoM per seed
+// plus traces and per-seed simulated cost (the budget currency). All S
+// seeds share one EvalService and advance in lockstep (Ddpg and AskTell
+// kinds; Random keeps its per-seed batched loop). `sim_budgets`, when
+// non-empty, holds one simulated-cost budget per seed.
+struct SweepResult {
+  std::vector<double> best;  // per seed
+  std::vector<std::vector<double>> traces;
+  std::vector<long> sims;  // per-seed simulated cost
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+SweepResult sweep(const std::string& method, const EnvFactory& factory,
+                  int steps, int warmup, int seeds,
+                  std::span<const long> sim_budgets = {},
+                  const rl::DdpgConfig& base_cfg = {});
+
+// sweep() plus the budget-chain rule in one call sequence: an ES sweep
+// records its per-seed sims into `es_sims`, BO/MACE sweeps consume them as
+// stopping budgets, every other method ignores the chain. Call per method,
+// in an order that puts the budget source before its consumers (run_tasks
+// orders automatically; this entry point is for incremental harness
+// loops).
+SweepResult sweep_chained(const std::string& method, const EnvFactory& factory,
+                          int steps, int warmup, int seeds,
+                          std::vector<long>& es_sims,
+                          const rl::DdpgConfig& base_cfg = {});
+
+// --- reporting helpers ----------------------------------------------------
+
+// One-line description of the evaluation engine configuration (thread
+// count + cache capacity from GCNRL_EVAL_THREADS / GCNRL_EVAL_CACHE),
+// printed by harnesses so logged tables are self-describing.
+std::string eval_banner();
+
+// One-line service-usage summary (service-wide totals — per-seed numbers
+// come from the per-env counters / RunResult, never from these totals).
+std::string service_usage(const env::EvalService& svc);
+
+// "mean +/- std" cell formatting used by all tables.
+std::string pm(double mean, double stddev, int precision = 3);
+
+// FNV-1a over the printable (%.17g) form of a trace: a stable short
+// fingerprint that pins every committed FoM without printing them all
+// (used by the determinism gates: sweep_smoke, gcnrl_cli --repeat).
+std::string trace_fingerprint(std::span<const double> trace);
+
+}  // namespace gcnrl::api

@@ -35,7 +35,13 @@ env::BenchmarkCircuit make_three_tia(const circuit::Technology& tech);
 // tl_dn(-), lr(+), tv_up(-), tv_dn(-), psrr(+), power(-).
 env::BenchmarkCircuit make_ldo(const circuit::Technology& tech);
 
-// All four, keyed by the names used in the paper's tables.
+// Name-keyed construction, backed by the api::CircuitRegistry (defined in
+// src/api/registry.cpp): the four paper benchmarks are pre-registered
+// under the names of the paper's tables, and circuits registered through
+// api::register_circuit become reachable here too. Unknown names throw
+// std::invalid_argument listing every registered name. benchmark_names()
+// is deterministic: the four built-ins in the order above, then user
+// circuits in registration order.
 env::BenchmarkCircuit make_benchmark(const std::string& name,
                                      const circuit::Technology& tech);
 std::vector<std::string> benchmark_names();

@@ -256,17 +256,8 @@ env::BenchmarkCircuit make_two_volt(const Technology& tech) {
   return bc;
 }
 
-env::BenchmarkCircuit make_benchmark(const std::string& name,
-                                     const Technology& tech) {
-  if (name == "Two-TIA") return make_two_tia(tech);
-  if (name == "Two-Volt") return make_two_volt(tech);
-  if (name == "Three-TIA") return make_three_tia(tech);
-  if (name == "LDO") return make_ldo(tech);
-  throw std::invalid_argument("make_benchmark: unknown circuit " + name);
-}
-
-std::vector<std::string> benchmark_names() {
-  return {"Two-TIA", "Two-Volt", "Three-TIA", "LDO"};
-}
+// make_benchmark()/benchmark_names() moved to src/api/registry.cpp: the
+// cross-circuit dispatcher now lives with the CircuitRegistry, not inside
+// one circuit's builder TU.
 
 }  // namespace gcnrl::circuits

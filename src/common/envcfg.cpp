@@ -1,23 +1,66 @@
 #include "common/envcfg.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace gcnrl {
 
+namespace {
+
+void warn_malformed(const char* name, const char* raw, const char* expected,
+                    const std::string& used) {
+  std::fprintf(stderr,
+               "gcnrl: ignoring malformed %s=\"%s\" (expected %s); using %s\n",
+               name, raw, expected, used.c_str());
+}
+
+}  // namespace
+
 int env_int(const char* name, int fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  try {
-    return std::stoi(raw);
-  } catch (...) {
+  // Strict parse: the whole value (modulo surrounding whitespace) must be
+  // one in-range base-10 integer. Anything else — "abc", "12abc", "1.5",
+  // out-of-range — is a configuration mistake that must not be silently
+  // absorbed: warn on stderr and fall back to the default.
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(raw, &end, 10);
+  // No-conversion must be detected BEFORE skipping trailing whitespace: a
+  // whitespace-only value leaves end == raw, and advancing end first would
+  // let it masquerade as a clean parse of 0.
+  const bool converted = end != raw;
+  while (end != nullptr && std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (!converted || (end != nullptr && *end != '\0') || errno == ERANGE ||
+      v < INT_MIN || v > INT_MAX) {
+    warn_malformed(name, raw, "an integer", std::to_string(fallback));
     return fallback;
   }
+  return static_cast<int>(v);
 }
 
 bool env_flag(const char* name) {
   const char* raw = std::getenv(name);
-  return raw != nullptr && std::string(raw) != "0" && std::string(raw) != "";
+  if (raw == nullptr) return false;
+  std::string v(raw);
+  for (char& c : v) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (v.empty() || v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  // Historical behaviour treated any other non-empty value as true; keep
+  // that so existing scripts don't silently flip, but warn — "GCNRL_FULL=o"
+  // is far more likely a typo than an intentional truthy value.
+  warn_malformed(name, raw, "one of 0/1/true/false/yes/no/on/off", "true");
+  return true;
 }
 
 BenchConfig bench_config() {

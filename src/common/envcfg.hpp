@@ -27,8 +27,15 @@ struct BenchConfig {
 // Reads the environment and produces the effective configuration.
 BenchConfig bench_config();
 
-// Helper: integer environment variable with default.
+// Integer environment variable with default. Malformed values ("abc",
+// "12abc", "1.5", out-of-int-range) never parse silently: they emit a
+// one-line warning on stderr and fall back to `fallback`. Unset or empty
+// values fall back silently.
 int env_int(const char* name, int fallback);
+// Boolean flag (tokens case-insensitive). False: unset, "", "0", "false",
+// "no", "off"; true: "1", "true", "yes", "on". Any other value warns on
+// stderr and counts as true (the historical any-non-empty-is-true
+// behaviour, made loud).
 bool env_flag(const char* name);
 
 }  // namespace gcnrl

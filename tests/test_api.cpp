@@ -1,0 +1,481 @@
+// Tests for the public task facade (src/api): circuit & method
+// registries (duplicates, unknown-name diagnostics, deterministic
+// ordering, user extension), the run_tasks planner (sweep parity, budget
+// chaining, order/grouping independence, thread-count determinism, custom
+// circuits end to end), and the task-spec file parser.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "circuit/tech.hpp"
+#include "sim/simulator.hpp"
+
+namespace api = gcnrl::api;
+namespace env = gcnrl::env;
+namespace circuit = gcnrl::circuit;
+using gcnrl::Rng;
+
+namespace {
+
+// Simulator-free benchmark (mirror of test_eval's synthetic): metrics are
+// closed forms of the parameters, so whole task runs cost microseconds.
+env::BenchmarkCircuit make_synthetic(const circuit::Technology& tech) {
+  env::BenchmarkCircuit bc;
+  bc.name = "Synthetic-API";
+  bc.tech = tech;
+  auto& nl = bc.netlist;
+  const int a = nl.node("a");
+  const int b = nl.node("b");
+  nl.add_nmos("M1", a, b, 0, 0, 1e-6, 1e-6);
+  nl.add_resistor("R1", a, b, 1e3);
+  nl.add_capacitor("C1", b, 0, 1e-12);
+  bc.space = circuit::DesignSpace::from_netlist(nl, bc.tech);
+  env::FomSpec fom;
+  fom.metrics = {
+      {"speed", "Hz", +1.0, {}, {}, {}, true},
+      {"cost", "W", -1.0, {}, {}, {}, true},
+  };
+  bc.fom = fom;
+  bc.evaluate = [](const circuit::Netlist& sized) {
+    const auto& mos = sized.mosfets()[0];
+    const auto& res = sized.resistors()[0];
+    if (mos.w < 0.4e-6) throw gcnrl::sim::SimError("did not converge");
+    env::MetricMap m;
+    m["speed"] = mos.w / mos.l;
+    m["cost"] = mos.w * mos.m / res.r * 1e9;
+    return m;
+  };
+  bc.human_expert.v = {{10e-6, 0.5e-6, 2}, {10e3, 0, 0}, {1e-12, 0, 0}};
+  return bc;
+}
+
+// Registered once for the whole suite; registries are process-global.
+const api::CircuitRegistrar synthetic_registrar{"Synthetic-API",
+                                               make_synthetic};
+
+// A trivial ask/tell optimizer for custom-method tests: proposes a
+// deterministic lattice walk, one point per ask().
+class GridWalk : public gcnrl::opt::Optimizer {
+ public:
+  GridWalk(int dim, Rng rng) : dim_(dim), rng_(std::move(rng)) {}
+  std::vector<std::vector<double>> ask() override {
+    std::vector<double> x(static_cast<std::size_t>(dim_));
+    for (double& v : x) v = rng_.uniform(-1.0, 1.0);
+    return {x};
+  }
+  void tell(const std::vector<std::vector<double>>&,
+            const std::vector<double>&) override {}
+  [[nodiscard]] int dim() const override { return dim_; }
+
+ private:
+  int dim_;
+  Rng rng_;
+};
+
+api::TaskSpec synthetic_task(const std::string& method, int steps,
+                             int seeds) {
+  api::TaskSpec t;
+  t.circuit = "Synthetic-API";
+  t.method = method;
+  t.steps = steps;
+  t.warmup = steps / 3;
+  t.seeds = seeds;
+  return t;
+}
+
+api::RunOptions tiny_options(int threads = 1) {
+  api::RunOptions opts;
+  opts.calib_samples = 16;
+  env::EvalServiceConfig cfg;
+  cfg.threads = threads;
+  opts.service = std::make_shared<env::EvalService>(cfg);
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// CircuitRegistry
+// ---------------------------------------------------------------------------
+
+TEST(CircuitRegistry, BuiltinsKeepPaperOrder) {
+  const auto names = api::circuit_names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "Two-TIA");
+  EXPECT_EQ(names[1], "Two-Volt");
+  EXPECT_EQ(names[2], "Three-TIA");
+  EXPECT_EQ(names[3], "LDO");
+  // The legacy shim sees the identical list.
+  EXPECT_EQ(gcnrl::circuits::benchmark_names(), names);
+}
+
+TEST(CircuitRegistry, UserCircuitIsRegisteredAndBuildable) {
+  EXPECT_TRUE(api::circuit_registered("Synthetic-API"));
+  const auto bc = api::build_circuit("Synthetic-API",
+                                     circuit::make_technology("180nm"));
+  EXPECT_EQ(bc.name, "Synthetic-API");
+  EXPECT_EQ(bc.space.num_components(), 3);
+}
+
+TEST(CircuitRegistry, DuplicateRegistrationThrows) {
+  EXPECT_THROW(api::register_circuit("Two-TIA", make_synthetic),
+               std::invalid_argument);
+  EXPECT_THROW(api::register_circuit("Synthetic-API", make_synthetic),
+               std::invalid_argument);
+  EXPECT_THROW(api::register_circuit("", make_synthetic),
+               std::invalid_argument);
+}
+
+// Regression test for the old make_benchmark error ("unknown circuit X"
+// with no hint): the message must list the valid registered names.
+TEST(CircuitRegistry, UnknownCircuitErrorListsRegisteredNames) {
+  const auto tech = circuit::make_technology("180nm");
+  try {
+    gcnrl::circuits::make_benchmark("No-Such-Circuit", tech);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("No-Such-Circuit"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Two-TIA"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Two-Volt"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Three-TIA"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("LDO"), std::string::npos) << msg;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MethodRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MethodRegistry, BuiltinsKeepTableOrder) {
+  const auto names = api::method_names();
+  ASSERT_GE(names.size(), 7u);
+  const std::vector<std::string> expect = {"Human", "Random", "ES", "BO",
+                                           "MACE",  "NG-RL",  "GCN-RL"};
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(names[i], expect[i]);
+  }
+}
+
+TEST(MethodRegistry, DescriptorsEncodeTheBudgetChain) {
+  EXPECT_EQ(api::method_info("BO").budget_from, "ES");
+  EXPECT_EQ(api::method_info("MACE").budget_from, "ES");
+  EXPECT_EQ(api::method_info("ES").budget_from, "");
+  EXPECT_EQ(api::method_info("GCN-RL").kind, api::MethodKind::Ddpg);
+  EXPECT_EQ(api::method_info("Human").kind, api::MethodKind::Anchor);
+}
+
+TEST(MethodRegistry, UnknownMethodErrorListsRegisteredNames) {
+  try {
+    api::method_info("No-Such-Method");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("No-Such-Method"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("GCN-RL"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("MACE"), std::string::npos) << msg;
+  }
+}
+
+TEST(MethodRegistry, DuplicateAndInvalidRegistrationsThrow) {
+  api::MethodInfo dup;
+  dup.name = "ES";
+  dup.kind = api::MethodKind::Random;
+  EXPECT_THROW(api::register_method(dup), std::invalid_argument);
+
+  api::MethodInfo no_factory;
+  no_factory.name = "Broken-AskTell";
+  no_factory.kind = api::MethodKind::AskTell;  // make_optimizer missing
+  EXPECT_THROW(api::register_method(no_factory), std::invalid_argument);
+}
+
+TEST(MethodRegistry, MakeAskTellRejectsNonAskTellKinds) {
+  EXPECT_THROW(api::make_ask_tell("GCN-RL", 4, Rng(1)),
+               std::invalid_argument);
+  const auto es = api::make_ask_tell("ES", 4, Rng(1));
+  EXPECT_EQ(es->dim(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// run_tasks
+// ---------------------------------------------------------------------------
+
+TEST(RunTasks, ValidatesSpecs) {
+  EXPECT_THROW(api::run_tasks({synthetic_task("No-Such-Method", 4, 1)}),
+               std::invalid_argument);
+  api::TaskSpec bad_circuit = synthetic_task("ES", 4, 1);
+  bad_circuit.circuit = "No-Such-Circuit";
+  EXPECT_THROW(api::run_tasks({bad_circuit}), std::invalid_argument);
+  api::TaskSpec bad_steps = synthetic_task("ES", 0, 1);
+  EXPECT_THROW(api::run_tasks({bad_steps}), std::invalid_argument);
+  api::TaskSpec bad_seeds = synthetic_task("ES", 4, 0);
+  EXPECT_THROW(api::run_tasks({bad_seeds}), std::invalid_argument);
+  // An explicit cap on a method that cannot consume it fails loudly
+  // instead of silently running uncapped.
+  api::TaskSpec bad_budget = synthetic_task("GCN-RL", 4, 1);
+  bad_budget.sim_budget = 100;
+  EXPECT_THROW(api::run_tasks({bad_budget}), std::invalid_argument);
+}
+
+// run_method and run_tasks agree on explicit simulated-cost caps for any
+// ask/tell method, budget source or not.
+TEST(RunMethod, ExplicitSimBudgetCapsAskTell) {
+  const auto opts = tiny_options();
+  Rng calib_rng(opts.calib_seed);
+  const api::EnvFactory factory("Synthetic-API",
+                                circuit::make_technology("180nm"),
+                                env::IndexMode::OneHot, opts.calib_samples,
+                                calib_rng, opts.service);
+  const auto capped =
+      api::run_method("ES", factory, 10, 0, api::seed_of(0), 4);
+  EXPECT_LE(capped.sims, 4);
+  const auto via_tasks = [&] {
+    api::TaskSpec t = synthetic_task("ES", 10, 1);
+    t.sim_budget = 4;
+    return api::run_tasks({t}, tiny_options());
+  }();
+  EXPECT_EQ(via_tasks[0].runs[0].best_trace, capped.best_trace);
+  EXPECT_EQ(via_tasks[0].runs[0].sims, capped.sims);
+}
+
+// A custom circuit registered by user code runs end to end through the
+// planner — every method kind, tiny budgets.
+TEST(RunTasks, CustomCircuitEndToEndAllMethodKinds) {
+  const std::vector<api::TaskSpec> tasks = {
+      synthetic_task("Human", 1, 1), synthetic_task("Random", 6, 2),
+      synthetic_task("ES", 6, 2), synthetic_task("GCN-RL", 6, 2)};
+  const auto results = api::run_tasks(tasks, tiny_options());
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].runs.size(), 1u);
+  EXPECT_EQ(results[0].runs[0].evals, 1);
+  EXPECT_EQ(results[0].runs[0].sims, 1);  // warmth-independent anchor cost
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].runs.size(), 2u) << tasks[i].method;
+    for (const auto& run : results[i].runs) {
+      EXPECT_EQ(run.best_trace.size(), 6u) << tasks[i].method;
+      EXPECT_GT(run.best_fom, -1e300) << tasks[i].method;
+    }
+  }
+  // Executed spec normalization is reported back.
+  EXPECT_EQ(results[3].spec.warmup, 2);
+  EXPECT_EQ(results[3].spec.label, "GCN-RL/Synthetic-API@180nm");
+}
+
+// Per-task results must be bit-identical whatever else shares the batch:
+// a task alone, the same task inside a heterogeneous list, and the same
+// list permuted all agree — as long as the permutation preserves the
+// first-appearance order of distinct (circuit, node) groups, because
+// calibration draws from one shared RNG in group order (the documented
+// protocol of the table harnesses).
+TEST(RunTasks, GroupingAndOrderIndependence) {
+  const api::TaskSpec a = synthetic_task("GCN-RL", 5, 2);
+  const api::TaskSpec b = synthetic_task("ES", 5, 2);
+  api::TaskSpec c = synthetic_task("NG-RL", 5, 1);
+  c.node = "65nm";  // second factory on the same service
+
+  const auto solo = api::run_tasks({a}, tiny_options());
+  const auto mixed = api::run_tasks({b, a, c}, tiny_options());
+  // a/b swap within the 180nm group; the 180nm -> 65nm group order stays.
+  const auto permuted = api::run_tasks({a, b, c}, tiny_options());
+
+  ASSERT_EQ(mixed[1].spec.label, solo[0].spec.label);
+  EXPECT_EQ(mixed[1].best, solo[0].best);
+  EXPECT_EQ(mixed[1].sims, solo[0].sims);
+  for (std::size_t s = 0; s < solo[0].runs.size(); ++s) {
+    EXPECT_EQ(mixed[1].runs[s].best_trace, solo[0].runs[s].best_trace);
+  }
+  EXPECT_EQ(mixed[1].best, permuted[0].best);
+  EXPECT_EQ(mixed[0].best, permuted[1].best);
+  EXPECT_EQ(mixed[2].best, permuted[2].best);
+  for (std::size_t s = 0; s < mixed[0].runs.size(); ++s) {
+    EXPECT_EQ(mixed[0].runs[s].best_trace, permuted[1].runs[s].best_trace);
+  }
+}
+
+TEST(RunTasks, ThreadCountDoesNotChangeResults) {
+  const std::vector<api::TaskSpec> tasks = {synthetic_task("ES", 6, 2),
+                                            synthetic_task("BO", 6, 2),
+                                            synthetic_task("GCN-RL", 6, 2)};
+  const auto serial = api::run_tasks(tasks, tiny_options(1));
+  const auto pooled = api::run_tasks(tasks, tiny_options(4));
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].best, pooled[i].best) << tasks[i].method;
+    EXPECT_EQ(serial[i].sims, pooled[i].sims) << tasks[i].method;
+    for (std::size_t s = 0; s < serial[i].runs.size(); ++s) {
+      EXPECT_EQ(serial[i].runs[s].best_trace, pooled[i].runs[s].best_trace);
+    }
+  }
+}
+
+// The planner's automatic ES -> BO chain equals handing the budgets over
+// explicitly — and holds even when BO is listed before its source.
+TEST(RunTasks, BudgetChainMatchesExplicitBudgets) {
+  const api::TaskSpec es = synthetic_task("ES", 8, 2);
+  const api::TaskSpec bo = synthetic_task("BO", 8, 2);
+
+  const auto chained = api::run_tasks({bo, es}, tiny_options());
+  const auto& bo_chained = chained[0];
+  const auto& es_run = chained[1];
+
+  // Replay with the recorded ES sims as explicit per-task caps (uniform
+  // caps need per-seed equality to stay a faithful replay).
+  ASSERT_EQ(es_run.sims.size(), 2u);
+  ASSERT_EQ(es_run.sims[0], es_run.sims[1]);
+  api::TaskSpec bo_explicit = bo;
+  bo_explicit.sim_budget = es_run.sims[0];
+  const auto replay = api::run_tasks({bo_explicit}, tiny_options());
+  EXPECT_EQ(replay[0].best, bo_chained.best);
+  EXPECT_EQ(replay[0].sims, bo_chained.sims);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_LE(bo_chained.sims[static_cast<std::size_t>(s)], es_run.sims[0]);
+  }
+
+  // sim_budget < 0 opts out of the chain entirely.
+  api::TaskSpec bo_uncapped = bo;
+  bo_uncapped.sim_budget = -1;
+  const auto uncapped = api::run_tasks({es, bo_uncapped}, tiny_options());
+  EXPECT_EQ(uncapped[1].runs[0].best_trace.size(), 8u);
+}
+
+// run_tasks on one task == sweep() against an identically calibrated
+// factory: the two public paths share one execution engine.
+TEST(RunTasks, MatchesSweepOnEquivalentFactory) {
+  const api::TaskSpec t = synthetic_task("GCN-RL", 6, 2);
+  const auto opts = tiny_options();
+  const auto via_tasks = api::run_tasks({t}, opts);
+
+  Rng calib_rng(opts.calib_seed);
+  const api::EnvFactory factory("Synthetic-API",
+                                circuit::make_technology("180nm"),
+                                env::IndexMode::OneHot, opts.calib_samples,
+                                calib_rng, tiny_options().service);
+  const auto via_sweep =
+      api::sweep("GCN-RL", factory, t.steps, t.warmup, t.seeds);
+
+  EXPECT_EQ(via_tasks[0].best, via_sweep.best);
+  EXPECT_EQ(via_tasks[0].sims, via_sweep.sims);
+  for (std::size_t s = 0; s < via_sweep.traces.size(); ++s) {
+    EXPECT_EQ(via_tasks[0].runs[s].best_trace, via_sweep.traces[s]);
+  }
+}
+
+// A user-registered ask/tell method drives the planner like a built-in.
+TEST(RunTasks, CustomAskTellMethodRunsThroughPlanner) {
+  if (!api::method_registered("Grid-Walk")) {
+    api::MethodInfo mi;
+    mi.name = "Grid-Walk";
+    mi.kind = api::MethodKind::AskTell;
+    mi.make_optimizer = [](int dim, Rng rng) {
+      return std::make_unique<GridWalk>(dim, std::move(rng));
+    };
+    api::register_method(std::move(mi));
+  }
+  const auto results =
+      api::run_tasks({synthetic_task("Grid-Walk", 7, 2)}, tiny_options());
+  ASSERT_EQ(results[0].runs.size(), 2u);
+  for (const auto& run : results[0].runs) {
+    EXPECT_EQ(run.best_trace.size(), 7u);
+    EXPECT_EQ(run.evals, 7);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-file parser
+// ---------------------------------------------------------------------------
+
+TEST(SpecParser, BindsAllFields) {
+  const std::string text = R"({
+    "options": {"calib": 64, "calib_seed": 7, "mode": "scalar"},
+    "tasks": [
+      {"circuit": "Two-TIA", "method": "ES", "steps": 12, "warmup": 6,
+       "seeds": 3, "node": "65nm", "sim_budget": 40, "label": "es-65"},
+      {"circuit": "LDO", "method": "GCN-RL"}
+    ]
+  })";
+  const api::TaskFile f = api::parse_task_spec(text);
+  EXPECT_EQ(f.options.calib_samples, 64);
+  EXPECT_EQ(f.options.calib_seed, 7u);
+  EXPECT_EQ(f.options.mode, env::IndexMode::Scalar);
+  ASSERT_EQ(f.tasks.size(), 2u);
+  EXPECT_EQ(f.tasks[0].circuit, "Two-TIA");
+  EXPECT_EQ(f.tasks[0].method, "ES");
+  EXPECT_EQ(f.tasks[0].steps, 12);
+  EXPECT_EQ(f.tasks[0].warmup, 6);
+  EXPECT_EQ(f.tasks[0].seeds, 3);
+  EXPECT_EQ(f.tasks[0].node, "65nm");
+  EXPECT_EQ(f.tasks[0].sim_budget, 40);
+  EXPECT_EQ(f.tasks[0].label, "es-65");
+  // Defaults on the second task.
+  EXPECT_EQ(f.tasks[1].node, "180nm");
+  EXPECT_EQ(f.tasks[1].steps, 300);
+  EXPECT_EQ(f.tasks[1].seeds, 1);
+}
+
+TEST(SpecParser, RejectsUnknownAndMalformedInput) {
+  // Unknown keys fail loudly rather than being ignored.
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"tasks": [{"circuit": "LDO", "method": "ES",
+                       "stepz": 3}]})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      api::parse_task_spec(R"({"tasks": [{"circuit": "LDO"}]})"),
+      std::runtime_error);  // missing method
+  EXPECT_THROW(api::parse_task_spec(R"({"tasks": []})"),
+               std::runtime_error);  // empty task list
+  EXPECT_THROW(api::parse_task_spec(R"({"taskz": []})"),
+               std::runtime_error);  // unknown top-level key
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"tasks": [{"circuit": "LDO", "method": "ES",
+                       "steps": "many"}]})"),
+               std::runtime_error);  // wrong type
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"tasks": [{"circuit": "LDO", "method": "ES",
+                       "steps": 1.5}]})"),
+               std::runtime_error);  // fractional integer
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"tasks": [{"circuit": "LDO", "method": "ES",
+                       "steps": 4294967297}]})"),
+               std::runtime_error);  // beyond int range, must not wrap
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"options": {"calib_seed": -1},
+                       "tasks": [{"circuit": "LDO", "method": "ES"}]})"),
+               std::runtime_error);  // negative seed
+  EXPECT_THROW(api::parse_task_spec("{\"tasks\": ["),
+               std::runtime_error);  // truncated JSON
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"tasks": [{"circuit": "A", "circuit": "B",
+                       "method": "ES"}]})"),
+               std::runtime_error);  // duplicate key
+}
+
+TEST(SpecParser, ReportsPositions) {
+  try {
+    api::parse_task_spec("{\n  \"tasks\": oops\n}");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos)
+        << e.what();
+  }
+}
+
+// The shipped example specs stay parseable (they are CI's smoke input).
+TEST(SpecParser, ShippedSpecsParse) {
+  for (const char* path : {"/specs/smoke.json", "/specs/custom.json"}) {
+    const api::TaskFile f =
+        api::load_task_spec(std::string(GCNRL_SOURCE_DIR) + path);
+    EXPECT_FALSE(f.tasks.empty()) << path;
+    for (const api::TaskSpec& t : f.tasks) {
+      EXPECT_TRUE(api::method_registered(t.method)) << t.method;
+    }
+  }
+}
+
+TEST(SpecParser, MissingFileThrows) {
+  EXPECT_THROW(api::load_task_spec("/no/such/spec.json"),
+               std::runtime_error);
+}
+
+}  // namespace

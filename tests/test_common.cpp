@@ -37,19 +37,64 @@ TEST(EnvInt, ParsesNegativeValue) {
   EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 0), -7);
 }
 
-TEST(EnvInt, EmptyStringFallsBack) {
+TEST(EnvInt, EmptyStringFallsBackSilently) {
   ScopedEnv e("GCNRL_TEST_INT", "");
+  testing::internal::CaptureStderr();
   EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 9), 9);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
-TEST(EnvInt, MalformedValueFallsBack) {
+TEST(EnvInt, ValidValueParsesSilently) {
+  ScopedEnv e("GCNRL_TEST_INT", "  42  ");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 0), 42);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+// Malformed values must fail LOUDLY (warn + fallback), never silently
+// parse to 0 or to a truncated prefix.
+TEST(EnvInt, MalformedValueWarnsAndFallsBack) {
   ScopedEnv e("GCNRL_TEST_INT", "not-a-number");
+  testing::internal::CaptureStderr();
   EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 17), 17);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("GCNRL_TEST_INT"), std::string::npos) << err;
+  EXPECT_NE(err.find("not-a-number"), std::string::npos) << err;
+  EXPECT_NE(err.find("17"), std::string::npos) << err;
 }
 
-TEST(EnvInt, OverflowFallsBack) {
+TEST(EnvInt, TrailingJunkWarnsAndFallsBack) {
+  ScopedEnv e("GCNRL_TEST_INT", "12abc");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 17), 17);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("12abc"),
+            std::string::npos);
+}
+
+TEST(EnvInt, WhitespaceOnlyWarnsAndFallsBack) {
+  // Regression: strtol converts nothing on "   ", and a naive trailing-
+  // whitespace skip turned that into a silent 0.
+  ScopedEnv e("GCNRL_TEST_INT", "   ");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 23), 23);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("GCNRL_TEST_INT"),
+            std::string::npos);
+}
+
+TEST(EnvInt, FractionalValueWarnsAndFallsBack) {
+  ScopedEnv e("GCNRL_TEST_INT", "1.5");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 3), 3);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("1.5"),
+            std::string::npos);
+}
+
+TEST(EnvInt, OverflowWarnsAndFallsBack) {
   ScopedEnv e("GCNRL_TEST_INT", "99999999999999999999");
+  testing::internal::CaptureStderr();
   EXPECT_EQ(gcnrl::env_int("GCNRL_TEST_INT", 5), 5);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("GCNRL_TEST_INT"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -71,14 +116,28 @@ TEST(EnvFlag, EmptyIsFalse) {
   EXPECT_FALSE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
 }
 
-TEST(EnvFlag, OneIsTrue) {
-  ScopedEnv e("GCNRL_TEST_FLAG", "1");
-  EXPECT_TRUE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
+TEST(EnvFlag, RecognizedTokensParseSilentlyCaseInsensitive) {
+  testing::internal::CaptureStderr();
+  for (const char* t : {"1", "true", "yes", "on", "TRUE", "Yes", "ON"}) {
+    ScopedEnv e("GCNRL_TEST_FLAG", t);
+    EXPECT_TRUE(gcnrl::env_flag("GCNRL_TEST_FLAG")) << t;
+  }
+  for (const char* f : {"0", "false", "no", "off", "FALSE", "No", "OFF"}) {
+    ScopedEnv e("GCNRL_TEST_FLAG", f);
+    EXPECT_FALSE(gcnrl::env_flag("GCNRL_TEST_FLAG")) << f;
+  }
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
-TEST(EnvFlag, ArbitraryTextIsTrue) {
-  ScopedEnv e("GCNRL_TEST_FLAG", "yes");
+// Unrecognized text keeps the historical non-empty-is-true reading but
+// must warn: "GCNRL_FULL=o" is a typo, not a truthy value.
+TEST(EnvFlag, ArbitraryTextWarnsButIsTrue) {
+  ScopedEnv e("GCNRL_TEST_FLAG", "maybe");
+  testing::internal::CaptureStderr();
   EXPECT_TRUE(gcnrl::env_flag("GCNRL_TEST_FLAG"));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("GCNRL_TEST_FLAG"), std::string::npos) << err;
+  EXPECT_NE(err.find("maybe"), std::string::npos) << err;
 }
 
 // ---------------------------------------------------------------------------
