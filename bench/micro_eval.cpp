@@ -18,6 +18,7 @@
 #include "opt/bayes_opt.hpp"
 #include "rl/ddpg.hpp"
 #include "rl/run_loop.hpp"
+#include "sim/perf.hpp"
 
 using namespace gcnrl;
 
@@ -67,6 +68,74 @@ void BM_EvalBatch_TwoTia_CacheHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBatch);
 }
 BENCHMARK(BM_EvalBatch_TwoTia_CacheHit)->Unit(benchmark::kMillisecond);
+
+// Cache-disabled single-eval path with per-analysis attribution: every
+// counter row below lands in the --benchmark_out JSON, so CI publishes a
+// machine-readable breakdown of where an evaluation spends its time
+// (DC solve, AC sweep, noise, transient) and how the DC warm start pays
+// off. Arg(0) = GCNRL_DC_WARM_START equivalent: 0 cold, 1 cross-design
+// warm banks. The workload is an optimizer-like trajectory — small
+// perturbations around one base design — because that neighborhood
+// locality is exactly what the warm start exploits (and what lockstep
+// sweeps exhibit once optimizers converge); fully random consecutive
+// designs would make every warm guess a stranger's.
+void BM_SingleEval_PerAnalysis(benchmark::State& state, const char* name) {
+  env::EvalServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.cache_capacity = 0;  // cache disabled: every step simulates
+  cfg.dc_warm_start = state.range(0) != 0;
+  env::SizingEnv env(circuits::make_benchmark(name, kTech),
+                     env::IndexMode::OneHot, cfg);
+  Rng rng(11);
+  const la::Mat base = env.random_actions(rng);
+  constexpr int kTraj = 8;
+  std::vector<la::Mat> traj(kTraj, base);
+  for (auto& a : traj) {
+    for (int i = 0; i < a.rows(); ++i) {
+      for (int j = 0; j < a.cols(); ++j) a(i, j) += 0.05 * rng.normal();
+    }
+  }
+  // Prime the warm bank so the first timed design is not charged the one
+  // unavoidable cold solve of the run.
+  benchmark::DoNotOptimize(env.step(traj.back()).fom);
+
+  sim::sim_perf_reset();
+  long evals = 0;
+  for (auto _ : state) {
+    for (const auto& a : traj) benchmark::DoNotOptimize(env.step(a).fom);
+    evals += kTraj;
+  }
+  const sim::SimPerf p = sim::sim_perf_snapshot();
+  const double inv = evals > 0 ? 1.0 / static_cast<double>(evals) : 0.0;
+  auto& c = state.counters;
+  c["dc_ms_per_eval"] = 1e3 * p.dc.seconds * inv;
+  c["ac_ms_per_eval"] = 1e3 * p.ac.seconds * inv;
+  c["noise_ms_per_eval"] = 1e3 * p.noise.seconds * inv;
+  c["tran_ms_per_eval"] = 1e3 * p.tran.seconds * inv;
+  c["dc_solves_per_eval"] = static_cast<double>(p.dc.calls) * inv;
+  c["dc_iters_per_eval"] = static_cast<double>(p.dc.items) * inv;
+  c["ac_points_per_eval"] = static_cast<double>(p.ac.items) * inv;
+  c["tran_steps_per_eval"] = static_cast<double>(p.tran.items) * inv;
+  c["warm_hit_rate"] =
+      p.dc.calls > 0
+          ? static_cast<double>(p.dc.warm_hits) /
+                static_cast<double>(p.dc.calls)
+          : 0.0;
+  c["warm_fallback_rate"] =
+      p.dc.calls > 0
+          ? static_cast<double>(p.dc.warm_fallbacks) /
+                static_cast<double>(p.dc.calls)
+          : 0.0;
+  state.SetItemsProcessed(evals);
+}
+BENCHMARK_CAPTURE(BM_SingleEval_PerAnalysis, two_tia, "Two-TIA")
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SingleEval_PerAnalysis, two_volt, "Two-Volt")
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SingleEval_PerAnalysis, three_tia, "Three-TIA")
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SingleEval_PerAnalysis, ldo, "LDO")
+    ->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // Lockstep multi-seed DDPG throughput: 4 (env, agent) pairs sharing one
 // EvalService, stepped via rl::run_ddpg_lockstep. items_per_second counts

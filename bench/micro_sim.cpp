@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "env/sizing_env.hpp"
 #include "sim/simulator.hpp"
+#include "sim/warm.hpp"
 
 using namespace gcnrl;
 
@@ -24,6 +25,23 @@ void BM_DcSolve_TwoTia(benchmark::State& state) {
 }
 BENCHMARK(BM_DcSolve_TwoTia);
 
+// The same solve warm-started from its own converged operating point —
+// the best case of the warm path (an optimizer revisiting a neighborhood)
+// and the direct comparison row for BM_DcSolve_TwoTia above.
+void BM_DcSolveWarm_TwoTia(benchmark::State& state) {
+  auto bc = circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::Simulator cold(nl, kTech);
+  const sim::OpPoint guess = cold.op();
+  for (auto _ : state) {
+    sim::Simulator s(nl, kTech);
+    s.warm_start_from(guess);
+    benchmark::DoNotOptimize(s.op().v[0]);
+  }
+}
+BENCHMARK(BM_DcSolveWarm_TwoTia);
+
 void BM_AcSweep_TwoTia_97pts(benchmark::State& state) {
   auto bc = circuits::make_two_tia(kTech);
   circuit::Netlist nl = bc.netlist;
@@ -36,6 +54,46 @@ void BM_AcSweep_TwoTia_97pts(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AcSweep_TwoTia_97pts);
+
+// AC matrix assembly alone, legacy (full netlist walk per frequency)
+// vs split (G/C stamps built once, Y = G + j*omega*C per frequency) —
+// the per-sweep-point cost the G/C refactor removes.
+void BM_AcAssemblyLegacy_TwoTia_97pts(benchmark::State& state) {
+  auto bc = circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::Simulator s(nl, kTech);
+  const sim::OpPoint op = s.op();
+  const auto freqs = sim::logspace(1e3, 1e11, 97);
+  for (auto _ : state) {
+    for (const double f : freqs) {
+      benchmark::DoNotOptimize(
+          sim::build_ac_matrix(s.context(), op, 2.0 * M_PI * f)(0, 0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(freqs.size()));
+}
+BENCHMARK(BM_AcAssemblyLegacy_TwoTia_97pts);
+
+void BM_AcAssemblySplit_TwoTia_97pts(benchmark::State& state) {
+  auto bc = circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::Simulator s(nl, kTech);
+  const sim::OpPoint op = s.op();
+  const auto freqs = sim::logspace(1e3, 1e11, 97);
+  for (auto _ : state) {
+    const sim::AcStamps stamps = sim::build_ac_stamps(s.context(), op);
+    for (const double f : freqs) {
+      benchmark::DoNotOptimize(
+          sim::assemble_ac_matrix(stamps, 2.0 * M_PI * f)(0, 0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(freqs.size()));
+}
+BENCHMARK(BM_AcAssemblySplit_TwoTia_97pts);
 
 void BM_FullEval(benchmark::State& state, const char* name) {
   auto bc = circuits::make_benchmark(name, kTech);

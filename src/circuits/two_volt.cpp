@@ -156,12 +156,19 @@ env::BenchmarkCircuit make_two_volt(const Technology& tech) {
     const auto freqs = sim::logspace(1e2, 1e10, 81);
 
     // --- closed loop: BW, noise, power, and the gate operating point ----
+    // Its converged operating point seeds the open-loop and CMFB
+    // testbenches below (warm_start_from): the derived netlists only
+    // append sources/nodes, so the closed-loop solution is a near-exact
+    // guess and Newton skips the gmin/source-stepping ladder. Derived
+    // purely from `sized`, so evaluation stays a pure function of it.
     double vg_op = 0.0;
     double vcmfb_op = 0.0;
+    sim::OpPoint cl_op;
     {
       sim::Simulator s(sized, tech_copy);
-      vg_op = s.op().node(ga);
-      vcmfb_op = s.op().node(vcmfb);
+      cl_op = s.op();
+      vg_op = cl_op.node(ga);
+      vcmfb_op = cl_op.node(vcmfb);
       m["power"] = s.supply_power();
       const auto ac = s.ac(freqs);
       const auto h_cl = detail::curve_diff(ac, voa, vob);
@@ -178,6 +185,7 @@ env::BenchmarkCircuit make_two_volt(const Technology& tech) {
       ol.add_vsource("VGA", ga, 0, vg_op, /*ac=*/+0.5);
       ol.add_vsource("VGB", gb, 0, vg_op, /*ac=*/-0.5);
       sim::Simulator s(ol, tech_copy);
+      s.warm_start_from(cl_op);
       const auto ac = s.ac(freqs);
       auto a_curve = detail::curve_diff(ac, voa, vob);
       m["gain"] = meas::dc_gain(a_curve);
@@ -207,6 +215,7 @@ env::BenchmarkCircuit make_two_volt(const Technology& tech) {
       cm.set_mos_gate("mn_ld2", drv);
       cm.add_vsource("VCMINJ", drv, vcmfb, 0.0, /*ac=*/1.0);
       sim::Simulator s(cm, tech_copy);
+      s.warm_start_from(cl_op);
       const auto ac = s.ac(freqs);
       const auto v_ret = detail::curve_at(ac, vcmfb);
       const auto v_fwd = detail::curve_at(ac, drv);

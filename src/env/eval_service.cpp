@@ -7,6 +7,7 @@
 #include <cstring>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/envcfg.hpp"
@@ -20,6 +21,7 @@ EvalServiceConfig eval_config_from_env() {
   cfg.cache_capacity = static_cast<std::size_t>(std::max(
       0, env_int("GCNRL_EVAL_CACHE",
                  static_cast<int>(cfg.cache_capacity))));
+  cfg.dc_warm_start = env_flag("GCNRL_DC_WARM_START");
   return cfg;
 }
 
@@ -211,6 +213,7 @@ int EvalService::threads() const { return backend_->threads(); }
 
 int EvalService::new_attribution() {
   attr_counters_.emplace_back();
+  warm_banks_.emplace_back();
   return static_cast<int>(attr_counters_.size()) - 1;
 }
 
@@ -251,6 +254,12 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
   struct Slot {
     CachedEval sim;                 // filled by the job
     std::exception_ptr unexpected;  // non-SimError escape hatch
+    // Pre-batch snapshot of the submitter's warm-start bank (engaged only
+    // under cfg_.dc_warm_start with a valid attribution slot). Every
+    // same-attr fresh job in a batch starts from the same snapshot; the
+    // commit pass writes banks back in submission order, so the final
+    // bank state never depends on job scheduling.
+    std::optional<sim::WarmStartBank> warm;
   };
   std::vector<EvalCache::Key> keys(n);
   std::vector<long> job_of(n, -1);  // job index evaluating item i
@@ -291,6 +300,10 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
     first_of_job[i] = true;
     if (cache_.capacity() > 0) scheduled.emplace(keys[i], job_of[i]);
     slots.emplace_back();
+    if (cfg_.dc_warm_start && jobs_in[i].attr >= 0) {
+      slots.back().warm =
+          warm_banks_.at(static_cast<std::size_t>(jobs_in[i].attr));
+    }
     ++num_jobs;
     count(jobs_in[i].attr, &EvalCounters::sims);
   }
@@ -306,7 +319,15 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
       try {
         circuit::Netlist sized = bc->netlist;
         bc->space.apply(sized, params);
-        slot.sim.metrics = bc->evaluate(sized);
+        if (slot.warm) {
+          // Thread-local scope: Simulators built inside the closure claim
+          // consecutive bank slots and warm-start from the previous
+          // design's converged operating points.
+          sim::WarmStartScope scope(&*slot.warm);
+          slot.sim.metrics = bc->evaluate(sized);
+        } else {
+          slot.sim.metrics = bc->evaluate(sized);
+        }
         slot.sim.sim_ok = true;
       } catch (const sim::SimError&) {
         slot.sim.sim_ok = false;
@@ -323,6 +344,18 @@ std::vector<EvalResult> EvalService::eval_batch_multi(
   // fill fresh/deduped results, and insert cache entries deterministically.
   for (const Slot& slot : slots) {
     if (slot.unexpected) std::rethrow_exception(slot.unexpected);
+  }
+  // Warm-bank writeback in submission order: the last fresh job of each
+  // attribution slot defines its bank for the next batch.
+  if (cfg_.dc_warm_start) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!first_of_job[i] || jobs_in[i].attr < 0) continue;
+      Slot& slot = slots[static_cast<std::size_t>(job_of[i])];
+      if (slot.warm) {
+        warm_banks_.at(static_cast<std::size_t>(jobs_in[i].attr)) =
+            std::move(*slot.warm);
+      }
+    }
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (job_of[i] < 0) continue;  // cache hit, already filled

@@ -1,6 +1,78 @@
 #include "sim/ac.hpp"
 
+#include <chrono>
+#include <cstdio>
+
+#include "sim/perf.hpp"
+
 namespace gcnrl::sim {
+namespace {
+
+// Frequencies span mHz to tens of GHz; fixed-notation std::to_string
+// renders both "0.000001" and huge digit strings. Scientific notation
+// keeps diagnostics readable at either extreme.
+std::string format_freq(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6e", f);
+  return buf;
+}
+
+}  // namespace
+
+AcStamps build_ac_stamps(const SimContext& ctx, const OpPoint& op) {
+  const MnaMap& m = ctx.map;
+  const circuit::Netlist& nl = ctx.nl;
+  AcStamps s{la::Mat(m.dim(), m.dim()), la::Mat(m.dim(), m.dim())};
+
+  for (const auto& res : nl.resistors()) {
+    stamp_conductance(s.g, m, res.a, res.b, 1.0 / std::max(res.r,
+                                                           kMinResistance));
+  }
+  for (const auto& cap : nl.capacitors()) {
+    stamp_conductance(s.c, m, cap.a, cap.b, cap.c);
+  }
+  for (std::size_t k = 0; k < nl.mosfets().size(); ++k) {
+    const auto& mos = nl.mosfets()[k];
+    const MosOp& mop = op.mos[k];
+    const MosCaps& c = op.caps[k];
+    stamp_vccs(s.g, m, mos.d, mos.s, mos.g, mos.s, mop.gm);
+    stamp_conductance(s.g, m, mos.d, mos.s, mop.gds);
+    stamp_conductance(s.c, m, mos.g, mos.s, c.cgs);
+    stamp_conductance(s.c, m, mos.g, mos.d, c.cgd);
+    stamp_conductance(s.c, m, mos.d, mos.b, c.cdb);
+    stamp_conductance(s.c, m, mos.s, mos.b, c.csb);
+  }
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& src = nl.vsources()[k];
+    const int b = m.branch(static_cast<int>(k));
+    if (m.v(src.p) >= 0) {
+      s.g(m.v(src.p), b) += 1.0;
+      s.g(b, m.v(src.p)) += 1.0;
+    }
+    if (m.v(src.n) >= 0) {
+      s.g(m.v(src.n), b) -= 1.0;
+      s.g(b, m.v(src.n)) -= 1.0;
+    }
+  }
+  // Regularization shunt mirroring the DC gmin keeps floating AC nodes
+  // (e.g. gates only driven through capacitors) solvable.
+  for (int node = 1; node < m.num_nodes(); ++node) {
+    s.g(m.v(node), m.v(node)) += 1e-12;
+  }
+  return s;
+}
+
+la::CMat assemble_ac_matrix(const AcStamps& stamps, double omega) {
+  using cd = std::complex<double>;
+  const int n = stamps.g.rows();
+  la::CMat y(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      y(i, j) = cd(stamps.g(i, j), omega * stamps.c(i, j));
+    }
+  }
+  return y;
+}
 
 la::CMat build_ac_matrix(const SimContext& ctx, const OpPoint& op,
                          double omega) {
@@ -10,7 +82,8 @@ la::CMat build_ac_matrix(const SimContext& ctx, const OpPoint& op,
   la::CMat y(m.dim(), m.dim());
 
   for (const auto& res : nl.resistors()) {
-    stamp_conductance(y, m, res.a, res.b, cd(1.0 / std::max(res.r, 1e-3)));
+    stamp_conductance(y, m, res.a, res.b,
+                      cd(1.0 / std::max(res.r, kMinResistance)));
   }
   for (const auto& cap : nl.capacitors()) {
     stamp_conductance(y, m, cap.a, cap.b, cd(0.0, omega * cap.c));
@@ -38,8 +111,6 @@ la::CMat build_ac_matrix(const SimContext& ctx, const OpPoint& op,
       y(b, m.v(src.n)) -= 1.0;
     }
   }
-  // Regularization shunt mirroring the DC gmin keeps floating AC nodes
-  // (e.g. gates only driven through capacitors) solvable.
   for (int node = 1; node < m.num_nodes(); ++node) {
     y(m.v(node), m.v(node)) += cd(1e-12);
   }
@@ -49,6 +120,8 @@ la::CMat build_ac_matrix(const SimContext& ctx, const OpPoint& op,
 AcResult solve_ac(const SimContext& ctx, const OpPoint& op,
                   const std::vector<double>& freqs) {
   using cd = std::complex<double>;
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
   const MnaMap& m = ctx.map;
   const circuit::Netlist& nl = ctx.nl;
 
@@ -64,22 +137,30 @@ AcResult solve_ac(const SimContext& ctx, const OpPoint& op,
     if (src.ac != 0.0) rhs[m.branch(static_cast<int>(k))] += src.ac;
   }
 
+  const AcStamps stamps = build_ac_stamps(ctx, op);
+
   AcResult out;
   out.freq = freqs;
   out.v = la::CMat(static_cast<int>(freqs.size()), m.num_nodes());
   for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
     const double omega = 2.0 * M_PI * freqs[fi];
-    la::CMat y = build_ac_matrix(ctx, op, omega);
+    la::CMat y = assemble_ac_matrix(stamps, omega);
     std::vector<cd> x;
     try {
       x = la::Lu<cd>(std::move(y)).solve(rhs);
     } catch (const la::SingularMatrixError&) {
-      throw SimError("AC matrix singular at f=" + std::to_string(freqs[fi]));
+      sim_perf_record(Analysis::Ac, static_cast<long>(fi),
+                      std::chrono::duration<double>(clock::now() - t0)
+                          .count());
+      throw SimError("AC matrix singular at f=" + format_freq(freqs[fi]) +
+                     " Hz");
     }
     for (int node = 1; node < m.num_nodes(); ++node) {
       out.v(static_cast<int>(fi), node) = x[m.v(node)];
     }
   }
+  sim_perf_record(Analysis::Ac, static_cast<long>(freqs.size()),
+                  std::chrono::duration<double>(clock::now() - t0).count());
   return out;
 }
 

@@ -25,7 +25,27 @@ struct AcResult {
   }
 };
 
-// Builds Y(omega) at the operating point (shared with noise analysis).
+// Frequency-independent split of the small-signal MNA system:
+//   Y(omega) = G + j*omega*C
+// G carries everything resistive (resistor conductances, gm/gds stamps,
+// voltage-source branch rows, the regularization shunt); C carries every
+// capacitance (explicit capacitors plus the four MOS caps). Both are
+// built once per operating point by a single netlist walk, and each
+// sweep/noise frequency assembles Y by scaled addition instead of
+// re-walking the netlist.
+struct AcStamps {
+  la::Mat g;  // conductance matrix, frequency-independent
+  la::Mat c;  // capacitance matrix; contributes j*omega*c per entry
+};
+
+AcStamps build_ac_stamps(const SimContext& ctx, const OpPoint& op);
+
+// Y(omega) = G + j*omega*C from a prebuilt split.
+la::CMat assemble_ac_matrix(const AcStamps& stamps, double omega);
+
+// Legacy single-pass assembly (netlist walk per frequency). Kept as the
+// reference implementation for the G/C equivalence tests and benchmarks;
+// the solvers use build_ac_stamps + assemble_ac_matrix.
 la::CMat build_ac_matrix(const SimContext& ctx, const OpPoint& op,
                          double omega);
 

@@ -1,6 +1,9 @@
 #include "sim/dc.hpp"
 
+#include <chrono>
 #include <cmath>
+
+#include "sim/perf.hpp"
 
 namespace gcnrl::sim {
 namespace {
@@ -26,7 +29,7 @@ Residual build(const SimContext& ctx, const std::vector<double>& x,
   auto volt = [&](int node) { return node == 0 ? 0.0 : x[m.v(node)]; };
 
   for (const auto& res : nl.resistors()) {
-    const double g = 1.0 / std::max(res.r, 1e-3);
+    const double g = 1.0 / std::max(res.r, kMinResistance);
     stamp_conductance(r.j, m, res.a, res.b, g);
     const double i = g * (volt(res.a) - volt(res.b));
     if (m.v(res.a) >= 0) r.f[m.v(res.a)] += i;
@@ -92,12 +95,18 @@ Residual build(const SimContext& ctx, const std::vector<double>& x,
 struct NewtonResult {
   bool converged = false;
   std::vector<double> x;
+  int iters = 0;  // iterations actually spent
 };
 
 NewtonResult newton(const SimContext& ctx, std::vector<double> x, double alpha,
-                    double gmin, const DcOptions& opt) {
+                    double gmin, const DcOptions& opt,
+                    int max_iter_override = -1) {
   const int nv = ctx.map.num_nodes() - 1;
-  for (int iter = 0; iter < opt.max_iter; ++iter) {
+  const int max_iter = max_iter_override > 0 ? max_iter_override
+                                             : opt.max_iter;
+  int iters = 0;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    ++iters;
     Residual r = build(ctx, x, alpha, gmin, opt.source_time);
     std::vector<double> rhs(r.f.size());
     for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = -r.f[i];
@@ -105,7 +114,7 @@ NewtonResult newton(const SimContext& ctx, std::vector<double> x, double alpha,
     try {
       dx = la::Lu<double>(std::move(r.j)).solve(rhs);
     } catch (const la::SingularMatrixError&) {
-      return {false, std::move(x)};
+      return {false, std::move(x), iters};
     }
     // Damping: limit the largest voltage step.
     double max_dv = 0.0;
@@ -114,7 +123,7 @@ NewtonResult newton(const SimContext& ctx, std::vector<double> x, double alpha,
                                                  : 1.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       x[i] += scale * dx[i];
-      if (!std::isfinite(x[i])) return {false, std::move(x)};
+      if (!std::isfinite(x[i])) return {false, std::move(x), iters};
     }
     double max_res = 0.0;
     for (int i = 0; i < nv; ++i) max_res = std::max(max_res, std::fabs(r.f[i]));
@@ -124,10 +133,10 @@ NewtonResult newton(const SimContext& ctx, std::vector<double> x, double alpha,
     if (scale == 1.0 &&
         ((max_dv < opt.tol_step && max_res < opt.tol_residual) ||
          max_res < 1e-3 * opt.tol_residual)) {
-      return {true, std::move(x)};
+      return {true, std::move(x), iters};
     }
   }
-  return {false, std::move(x)};
+  return {false, std::move(x), iters};
 }
 
 OpPoint finalize(const SimContext& ctx, const std::vector<double>& x) {
@@ -152,37 +161,86 @@ OpPoint finalize(const SimContext& ctx, const std::vector<double>& x) {
 
 }  // namespace
 
-OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt) {
-  std::vector<double> x(ctx.map.dim(), 0.0);
+OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt,
+                 const std::vector<double>* warm_start, DcStats* stats) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  DcStats local;
+  DcStats& st = stats ? *stats : local;
+  st = DcStats{};
+
+  // Record once per solve no matter which return/throw path is taken.
+  auto record = [&](bool ok) {
+    const double secs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    const long warm_hit = (ok && st.warm_converged) ? 1 : 0;
+    const long warm_fallback =
+        (st.warm_attempted && !st.warm_converged) ? 1 : 0;
+    sim_perf_record(Analysis::Dc, st.newton_iters, secs, warm_hit,
+                    warm_fallback);
+  };
+
+  // Strategy 0: direct Newton from the supplied warm-start guess at the
+  // target gmin. A good guess (previous operating point of the same or a
+  // structurally identical netlist) converges in a handful of iterations;
+  // a bad one is cut off at warm_max_iter and we fall through to the
+  // untouched ladder below, which starts from zeros exactly as a cold
+  // solve would — fallback results are bitwise-identical to cold.
+  if (warm_start && static_cast<int>(warm_start->size()) == ctx.map.dim()) {
+    st.warm_attempted = true;
+    NewtonResult nr =
+        newton(ctx, *warm_start, 1.0, opt.gmin, opt, opt.warm_max_iter);
+    st.newton_iters += nr.iters;
+    if (nr.converged) {
+      st.warm_converged = true;
+      st.strategy = 0;
+      record(true);
+      return finalize(ctx, nr.x);
+    }
+  }
+
+  // Best converged unknown vector seen so far across strategies; later
+  // strategies start from it instead of discarding the progress.
+  std::vector<double> best(ctx.map.dim(), 0.0);
 
   // Strategy 1: gmin stepping from a strong shunt down to the target.
   // A partial failure mid-ladder keeps the best solution found so far as
-  // the starting point for the next (coarser) attempt instead of aborting:
+  // the starting point for the next strategy instead of discarding it:
   // circuits with bistable subloops often converge on retry.
   {
-    std::vector<double> xg = x;
+    std::vector<double> xg = best;
     bool ok = true;
     for (double gmin = 1e-2; gmin >= opt.gmin * 0.99; gmin *= 1e-1) {
       NewtonResult nr = newton(ctx, xg, 1.0, gmin, opt);
+      st.newton_iters += nr.iters;
       if (!nr.converged) {
         ok = false;
         break;
       }
       xg = std::move(nr.x);
+      best = xg;  // last converged rung — carried into Strategy 2
     }
     if (ok) {
       NewtonResult nr = newton(ctx, xg, 1.0, opt.gmin, opt);
-      if (nr.converged) return finalize(ctx, nr.x);
+      st.newton_iters += nr.iters;
+      if (nr.converged) {
+        st.strategy = 1;
+        record(true);
+        return finalize(ctx, nr.x);
+      }
     }
   }
 
   // Strategy 2: source stepping at a relaxed gmin, then final tightening.
+  // Starts from the best solution Strategy 1 converged to (zeros if its
+  // very first rung already failed), as documented above.
   {
-    std::vector<double> xs(ctx.map.dim(), 0.0);
+    std::vector<double> xs = best;
     bool ok = true;
     for (int step = 1; step <= 20; ++step) {
       const double alpha = step / 20.0;
       NewtonResult nr = newton(ctx, xs, alpha, std::max(opt.gmin, 1e-9), opt);
+      st.newton_iters += nr.iters;
       if (!nr.converged) {
         ok = false;
         break;
@@ -192,18 +250,26 @@ OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt) {
     if (ok) {
       for (double gmin = 1e-9; gmin >= opt.gmin * 0.99; gmin *= 1e-1) {
         NewtonResult nr = newton(ctx, xs, 1.0, gmin, opt);
+        st.newton_iters += nr.iters;
         if (!nr.converged) {
           ok = false;
           break;
         }
         xs = std::move(nr.x);
       }
-      if (ok) return finalize(ctx, xs);
+      if (ok) {
+        st.strategy = 2;
+        record(true);
+        return finalize(ctx, xs);
+      }
     }
   }
 
   // Strategy 3: heavily damped Newton from a mid-rail start — a last
-  // resort that trades iterations for basin robustness.
+  // resort that trades iterations for basin robustness. Deliberately
+  // *not* seeded from `best`: when both ladders fail, the accumulated
+  // iterate usually sits in the wrong basin, and mid-rail is an
+  // independent restart.
   {
     std::vector<double> xm(ctx.map.dim(), 0.0);
     for (int node = 1; node < ctx.map.num_nodes(); ++node) {
@@ -213,12 +279,19 @@ OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt) {
     heavy.step_limit = 0.1;
     heavy.max_iter = 400;
     NewtonResult nr = newton(ctx, xm, 1.0, std::max(opt.gmin, 1e-10), heavy);
+    st.newton_iters += nr.iters;
     if (nr.converged) {
       nr = newton(ctx, nr.x, 1.0, opt.gmin, opt);
-      if (nr.converged) return finalize(ctx, nr.x);
+      st.newton_iters += nr.iters;
+      if (nr.converged) {
+        st.strategy = 3;
+        record(true);
+        return finalize(ctx, nr.x);
+      }
     }
   }
 
+  record(false);
   throw SimError("DC operating point did not converge");
 }
 

@@ -29,8 +29,29 @@ struct DcOptions {
   // Evaluate transient sources at this time instead of their DC value
   // (used to get the t=0 initial condition of a transient run).
   double source_time = -1.0;  // < 0: use dc fields
+  // Iteration budget for the direct-from-warm-start Newton attempt. Kept
+  // below max_iter: a good guess converges in a handful of iterations,
+  // and a bad one should hand over to the robust ladder quickly instead
+  // of burning the full budget on a doomed descent.
+  int warm_max_iter = 40;
 };
 
-OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt = {});
+// Per-solve diagnostics, filled when a non-null pointer is passed.
+struct DcStats {
+  int newton_iters = 0;   // Newton iterations summed over all attempts
+  bool warm_attempted = false;  // a warm-start guess was supplied and tried
+  bool warm_converged = false;  // ...and Newton converged directly from it
+  int strategy = 0;       // 0 = warm start, 1..3 = ladder strategy that won
+};
+
+// Solves for the DC operating point. `warm_start`, when non-null, is a
+// full MNA unknown vector (node voltages + branch currents, e.g. from
+// sim::project_op) used as the initial guess for a direct Newton attempt
+// at the target gmin; on non-convergence the solver falls back to the
+// unchanged three-strategy ladder from scratch, so robustness is
+// identical to a cold solve. Throws SimError if every strategy fails.
+OpPoint solve_dc(const SimContext& ctx, const DcOptions& opt = {},
+                 const std::vector<double>* warm_start = nullptr,
+                 DcStats* stats = nullptr);
 
 }  // namespace gcnrl::sim

@@ -29,6 +29,14 @@ struct SimError : std::runtime_error {
   explicit SimError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Resistance floor shared by every engine that stamps resistor branches
+// (DC, AC G/C assembly, transient): conductances are computed as
+// g = 1 / max(r, kMinResistance). A single definition keeps the DC and
+// AC linearizations from drifting apart — a resistor clamped in one
+// analysis but not another would make the AC system inconsistent with
+// the operating point it is linearized around.
+inline constexpr double kMinResistance = 1e-3;  // [ohm]
+
 // Unknown-index mapping for a netlist.
 class MnaMap {
  public:

@@ -1,8 +1,10 @@
 #include "sim/noise.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "sim/ac.hpp"
+#include "sim/perf.hpp"
 
 namespace gcnrl::sim {
 
@@ -10,6 +12,8 @@ NoiseResult solve_noise(const SimContext& ctx, const OpPoint& op,
                         const std::vector<double>& freqs, int outp,
                         int outn) {
   using cd = std::complex<double>;
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
   const MnaMap& m = ctx.map;
   const circuit::Netlist& nl = ctx.nl;
 
@@ -21,10 +25,14 @@ NoiseResult solve_noise(const SimContext& ctx, const OpPoint& op,
   if (m.v(outp) >= 0) e[m.v(outp)] += 1.0;
   if (m.v(outn) >= 0) e[m.v(outn)] -= 1.0;
 
+  // One netlist walk for the whole sweep; each frequency assembles
+  // Y = G + j*omega*C by scaled addition.
+  const AcStamps stamps = build_ac_stamps(ctx, op);
+
   for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
     const double f = freqs[fi];
     const double omega = 2.0 * M_PI * f;
-    la::CMat y = build_ac_matrix(ctx, op, omega);
+    la::CMat y = assemble_ac_matrix(stamps, omega);
     la::Lu<cd> lu(std::move(y));
     // Adjoint: Y^T ytr = e  =>  v_out(unit injection a->b) = ytr_a - ytr_b.
     const std::vector<cd> ytr = lu.solve_transposed(e, /*conjugate=*/false);
@@ -48,6 +56,8 @@ NoiseResult solve_noise(const SimContext& ctx, const OpPoint& op,
     }
     out.out_psd[fi] = psd;
   }
+  sim_perf_record(Analysis::Noise, static_cast<long>(freqs.size()),
+                  std::chrono::duration<double>(clock::now() - t0).count());
   return out;
 }
 

@@ -1,0 +1,48 @@
+// Per-analysis attribution counters for the simulator hot path.
+//
+// Every FoM evaluation decomposes into DC solves, AC sweeps, noise sweeps
+// and transient runs; this registry attributes work (calls, iterations /
+// frequency points, wall time) to each analysis so benches like
+// bench/micro_eval can report *where* an evaluation spends its time and
+// later PRs can track a per-analysis perf trajectory instead of a single
+// evals/sec number.
+//
+// The counters are process-global atomics: recording happens once per
+// analysis call (never per Newton iteration), so the hot-path overhead is
+// two clock reads and a handful of relaxed atomic adds per solve. Wall
+// time feeds reporting only — it is never part of a result, a budget, or
+// a cache key, so the determinism contracts of the evaluation engine are
+// untouched. Snapshots are exact even while worker threads are recording.
+#pragma once
+
+namespace gcnrl::sim {
+
+// One analysis kind's totals since the last reset.
+struct AnalysisPerf {
+  long calls = 0;      // solve_dc / solve_ac / solve_noise / solve_tran calls
+  long items = 0;      // Newton iterations (DC, tran) or frequency points
+                       // (AC, noise)
+  long warm_hits = 0;  // DC only: solves converged directly from a warm start
+  long warm_fallbacks = 0;  // DC only: warm attempts that fell back to the
+                            // cold gmin/source-stepping ladder
+  double seconds = 0.0;     // wall time inside the analysis
+};
+
+struct SimPerf {
+  AnalysisPerf dc;
+  AnalysisPerf ac;
+  AnalysisPerf noise;
+  AnalysisPerf tran;
+};
+
+enum class Analysis { Dc, Ac, Noise, Tran };
+
+// Accumulate one analysis call. `items`/`warm_*` as per AnalysisPerf.
+void sim_perf_record(Analysis which, long items, double seconds,
+                     long warm_hits = 0, long warm_fallbacks = 0);
+
+// Totals since process start or the last sim_perf_reset().
+SimPerf sim_perf_snapshot();
+void sim_perf_reset();
+
+}  // namespace gcnrl::sim

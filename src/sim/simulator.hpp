@@ -6,6 +6,18 @@
 // loop, open loop, loop-gain injection, ...) because the configurations
 // differ structurally, exactly as separate testbenches would in a real
 // flow.
+//
+// DC warm starts come from two places (see sim/warm.hpp):
+//   * warm_start_from(op) — an explicit guess handed over by the caller,
+//     typically the solved operating point of a sibling testbench for the
+//     same design. Pure: derived only from the design under evaluation.
+//   * an active WarmStartScope — each Simulator constructed inside the
+//     scope claims the next bank slot and, lacking an explicit guess,
+//     warm-starts from the converged op the *previous design* stored in
+//     that slot. Opt-in at the EvalService level.
+// In both cases Newton tries the guess directly at the target gmin and
+// falls back to the unchanged cold ladder on non-convergence, so a bad
+// guess can cost iterations but never a different failure behavior.
 #pragma once
 
 #include <optional>
@@ -14,18 +26,28 @@
 #include "sim/dc.hpp"
 #include "sim/noise.hpp"
 #include "sim/tran.hpp"
+#include "sim/warm.hpp"
 
 namespace gcnrl::sim {
 
 class Simulator {
  public:
-  Simulator(const circuit::Netlist& nl, const circuit::Technology& tech)
-      : ctx_(nl, tech) {}
+  Simulator(const circuit::Netlist& nl, const circuit::Technology& tech);
+
+  // Supplies an explicit DC initial guess (projected onto this netlist's
+  // unknowns). Call before the first analysis; takes precedence over any
+  // WarmStartScope slot. No effect once op() has been solved.
+  void warm_start_from(const OpPoint& guess);
 
   // DC operating point (computed once, cached). Throws SimError.
   const OpPoint& op();
-  // Re-solve with transient sources evaluated at t=0 (for tran ICs).
-  OpPoint op_at_time_zero();
+  // Re-solve with transient sources evaluated at t=0 (for tran ICs);
+  // computed once and cached like op(). Warm-started from op() when that
+  // is already solved — the t=0 point differs only through PWL sources.
+  const OpPoint& op_at_time_zero();
+
+  // Diagnostics of the most recent op()/op_at_time_zero() DC solve.
+  [[nodiscard]] const DcStats& dc_stats() const { return dc_stats_; }
 
   AcResult ac(const std::vector<double>& freqs);
   NoiseResult noise(const std::vector<double>& freqs, int outp, int outn = 0);
@@ -42,6 +64,10 @@ class Simulator {
  private:
   SimContext ctx_;
   std::optional<OpPoint> op_;
+  std::optional<OpPoint> op_t0_;
+  std::optional<std::vector<double>> warm_guess_;
+  int scope_slot_ = -1;  // bank slot claimed at construction, -1 = none
+  DcStats dc_stats_;
 };
 
 }  // namespace gcnrl::sim

@@ -1,6 +1,10 @@
 #include "sim/tran.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+
+#include "sim/perf.hpp"
 
 namespace gcnrl::sim {
 namespace {
@@ -9,10 +13,20 @@ double src_at(double dc, const circuit::Pwl& pwl, double t) {
   return pwl.empty() ? dc : pwl.at(t);
 }
 
+// Time steps are ns-to-us scale; fixed-notation std::to_string collapses
+// them to "0.000000". Scientific notation keeps the diagnostic useful.
+std::string format_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6e", t);
+  return buf;
+}
+
 }  // namespace
 
 TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
                       const TranOptions& opt) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
   const MnaMap& m = ctx.map;
   const circuit::Netlist& nl = ctx.nl;
   const int steps = static_cast<int>(std::ceil(opt.tstop / opt.dt));
@@ -44,7 +58,7 @@ TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
       std::vector<double> f(m.dim(), 0.0);
 
       for (const auto& res : nl.resistors()) {
-        const double g = 1.0 / std::max(res.r, 1e-3);
+        const double g = 1.0 / std::max(res.r, kMinResistance);
         stamp_conductance(j, m, res.a, res.b, g);
         const double i = g * (volt(x, res.a) - volt(x, res.b));
         if (m.v(res.a) >= 0) f[m.v(res.a)] += i;
@@ -126,7 +140,7 @@ TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
         dx = la::Lu<double>(std::move(j)).solve(rhs);
       } catch (const la::SingularMatrixError&) {
         throw SimError("transient: singular Jacobian at t=" +
-                       std::to_string(t_now));
+                       format_time(t_now) + " s");
       }
       double max_dv = 0.0;
       const int nv = m.num_nodes() - 1;
@@ -136,7 +150,8 @@ TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
       for (std::size_t i = 0; i < x.size(); ++i) {
         x[i] += scale * dx[i];
         if (!std::isfinite(x[i])) {
-          throw SimError("transient: divergence at t=" + std::to_string(t_now));
+          throw SimError("transient: divergence at t=" +
+                         format_time(t_now) + " s");
         }
       }
       double max_res = 0.0;
@@ -148,7 +163,8 @@ TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
       }
     }
     if (!converged) {
-      throw SimError("transient: Newton failed at t=" + std::to_string(t_now));
+      throw SimError("transient: Newton failed at t=" +
+                     format_time(t_now) + " s");
     }
     out.t.push_back(t_now);
     for (int node = 1; node < m.num_nodes(); ++node) {
@@ -156,6 +172,8 @@ TranResult solve_tran(const SimContext& ctx, const OpPoint& ic,
     }
     x_prev = x;
   }
+  sim_perf_record(Analysis::Tran, steps,
+                  std::chrono::duration<double>(clock::now() - t0).count());
   return out;
 }
 

@@ -1,0 +1,61 @@
+#include "sim/warm.hpp"
+
+namespace gcnrl::sim {
+namespace {
+
+thread_local WarmStartScope* t_scope = nullptr;
+
+}  // namespace
+
+std::vector<double> project_op(const OpPoint& op, const MnaMap& map) {
+  std::vector<double> x(static_cast<std::size_t>(map.dim()), 0.0);
+  const int shared_nodes =
+      std::min(map.num_nodes(), static_cast<int>(op.v.size()));
+  for (int node = 1; node < shared_nodes; ++node) {
+    x[static_cast<std::size_t>(map.v(node))] = op.v[node];
+  }
+  const int shared_branches =
+      std::min(map.dim() - (map.num_nodes() - 1),
+               static_cast<int>(op.branch_i.size()));
+  for (int k = 0; k < shared_branches; ++k) {
+    x[static_cast<std::size_t>(map.branch(k))] = op.branch_i[k];
+  }
+  return x;
+}
+
+const OpPoint* WarmStartBank::slot_op(int slot, const MnaMap& map) const {
+  if (slot < 0 || static_cast<std::size_t>(slot) >= slots_.size()) {
+    return nullptr;
+  }
+  const Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (!s.valid || s.num_nodes != map.num_nodes() ||
+      s.num_branches != map.dim() - (map.num_nodes() - 1)) {
+    return nullptr;
+  }
+  return &s.op;
+}
+
+void WarmStartBank::store(int slot, const MnaMap& map, const OpPoint& op) {
+  if (slot < 0) return;
+  if (static_cast<std::size_t>(slot) >= slots_.size()) {
+    slots_.resize(static_cast<std::size_t>(slot) + 1);
+  }
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.valid = true;
+  s.num_nodes = map.num_nodes();
+  s.num_branches = map.dim() - (map.num_nodes() - 1);
+  s.op = op;
+  last_ = op;
+  has_last_ = true;
+}
+
+WarmStartScope::WarmStartScope(WarmStartBank* bank)
+    : bank_(bank), prev_(t_scope) {
+  t_scope = this;
+}
+
+WarmStartScope::~WarmStartScope() { t_scope = prev_; }
+
+WarmStartScope* WarmStartScope::current() { return t_scope; }
+
+}  // namespace gcnrl::sim

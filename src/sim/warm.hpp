@@ -1,0 +1,101 @@
+// DC Newton warm-start plumbing.
+//
+// Two cooperating mechanisms, both feeding solve_dc an initial guess that
+// lets Newton skip the full gmin/source-stepping ladder when the guess
+// converges (and fall back to the unchanged ladder when it does not):
+//
+//  1. Explicit, intra-evaluation: a measurement closure that builds several
+//     Simulators for one sized design (closed loop, open loop, injection
+//     testbench, perturbed-load copies, ...) hands the already-solved
+//     operating point of one testbench to the next via
+//     Simulator::warm_start_from. The guess is derived exclusively from
+//     the design being evaluated, so evaluation stays a *pure function of
+//     the design* — the invariant the EvalService cache, the isolation-
+//     parity tests and the budget chain all rest on.
+//
+//  2. Scoped, cross-design: a WarmStartBank carries the converged operating
+//     points of the previous design evaluated by the same submitter (one
+//     slot per Simulator construction inside the closure — testbench k of
+//     design n warm-starts from testbench k of design n-1, which has the
+//     identical netlist structure). The bank is installed around a closure
+//     invocation with WarmStartScope (thread-local, so concurrent
+//     EvalService workers never share one); EvalService snapshots each
+//     env's bank at submission and commits it back in submission order,
+//     which keeps results bit-identical across thread counts and repeated
+//     invocations. Because this makes a result depend on the submitter's
+//     evaluation *history* (and hence on the cache hit/miss pattern), it
+//     is OFF by default and opted into per service — see
+//     EvalServiceConfig::dc_warm_start.
+#pragma once
+
+#include <vector>
+
+#include "sim/mna.hpp"
+
+namespace gcnrl::sim {
+
+// Projects an operating point solved on one netlist onto the unknown
+// vector of a (possibly structurally different) netlist: node voltages
+// are copied by node id, voltage-source branch currents by source index,
+// anything the source op does not cover starts at zero. Testbench
+// derivations in the circuit builders only ever *append* nodes and
+// sources to the sized netlist, so the shared prefix lines up exactly.
+std::vector<double> project_op(const OpPoint& op, const MnaMap& map);
+
+// Per-submitter bank of converged operating points: one slot per
+// Simulator constructed while a scope is active (construction order is
+// the slot index), plus the most recent converged op for cross-testbench
+// projection when a slot is still empty.
+class WarmStartBank {
+ public:
+  struct Slot {
+    bool valid = false;
+    int num_nodes = 0;
+    int num_branches = 0;
+    OpPoint op;
+  };
+
+  // Slot contents from the previous design, nullptr when empty or when
+  // the netlist structure changed (dimension mismatch).
+  [[nodiscard]] const OpPoint* slot_op(int slot, const MnaMap& map) const;
+  // Most recent converged op stored this session (any slot).
+  [[nodiscard]] const OpPoint* last_op() const {
+    return has_last_ ? &last_ : nullptr;
+  }
+
+  void store(int slot, const MnaMap& map, const OpPoint& op);
+
+  [[nodiscard]] std::size_t num_slots() const { return slots_.size(); }
+
+ private:
+  std::vector<Slot> slots_;
+  OpPoint last_;
+  bool has_last_ = false;
+};
+
+// RAII thread-local installation of a bank around a measurement-closure
+// call. Simulators constructed while a scope is active claim consecutive
+// slot indices and read/write the bank through it; without an active
+// scope Simulator behaves exactly as before (cold start unless
+// warm_start_from was called).
+class WarmStartScope {
+ public:
+  explicit WarmStartScope(WarmStartBank* bank);
+  ~WarmStartScope();
+  WarmStartScope(const WarmStartScope&) = delete;
+  WarmStartScope& operator=(const WarmStartScope&) = delete;
+
+  // The scope active on this thread, nullptr outside any scope.
+  static WarmStartScope* current();
+
+  // Next Simulator slot index (claimed at Simulator construction).
+  int claim_slot() { return next_slot_++; }
+  WarmStartBank& bank() { return *bank_; }
+
+ private:
+  WarmStartBank* bank_;
+  WarmStartScope* prev_;
+  int next_slot_ = 0;
+};
+
+}  // namespace gcnrl::sim

@@ -6,11 +6,14 @@
 
 #include "circuit/netlist.hpp"
 #include "circuit/tech.hpp"
+#include "circuits/benchmark_circuits.hpp"
 #include "meas/ac_metrics.hpp"
 #include "meas/tran_metrics.hpp"
+#include "sim/perf.hpp"
 #include "sim/simulator.hpp"
 
 namespace circuit = gcnrl::circuit;
+namespace la = gcnrl::la;
 namespace sim = gcnrl::sim;
 namespace meas = gcnrl::meas;
 
@@ -332,4 +335,135 @@ TEST(Meas, Logspace) {
   EXPECT_NEAR(f[0], 1.0, 1e-12);
   EXPECT_NEAR(f[1], 10.0, 1e-9);
   EXPECT_NEAR(f[3], 1000.0, 1e-9);
+}
+
+// --- G/C split and DC warm start ------------------------------------------
+
+// The split assembly Y = G + j*omega*C must reproduce the legacy
+// walk-per-frequency matrix on every benchmark circuit: real parts are
+// accumulated in the identical order (bitwise equal); imaginary parts
+// regroup omega*(c1+c2) vs omega*c1 + omega*c2 and may differ in the last
+// ulp, hence the relative tolerance.
+TEST(Ac, SplitStampsMatchLegacyAssembly) {
+  for (const char* name : {"Two-TIA", "Two-Volt", "Three-TIA", "LDO"}) {
+    auto bc = gcnrl::circuits::make_benchmark(name, kTech);
+    circuit::Netlist nl = bc.netlist;
+    bc.space.apply(nl, bc.human_expert);
+    sim::Simulator s(nl, kTech);
+    const sim::OpPoint& op = s.op();
+    const sim::AcStamps stamps = sim::build_ac_stamps(s.context(), op);
+    for (const double f : {1e2, 1e5, 1e8, 1e10}) {
+      const double omega = 2.0 * M_PI * f;
+      const la::CMat legacy = sim::build_ac_matrix(s.context(), op, omega);
+      const la::CMat split = sim::assemble_ac_matrix(stamps, omega);
+      ASSERT_EQ(legacy.rows(), split.rows());
+      for (int i = 0; i < legacy.rows(); ++i) {
+        for (int j = 0; j < legacy.cols(); ++j) {
+          EXPECT_EQ(legacy(i, j).real(), split(i, j).real())
+              << name << " (" << i << "," << j << ") at f=" << f;
+          const double tol =
+              1e-12 * std::max(1.0, std::fabs(legacy(i, j).imag()));
+          EXPECT_NEAR(legacy(i, j).imag(), split(i, j).imag(), tol)
+              << name << " (" << i << "," << j << ") at f=" << f;
+        }
+      }
+    }
+  }
+}
+
+// A converged operating point handed back as the warm start must converge
+// directly (strategy 0) in a handful of iterations and land on the same
+// solution as the cold ladder within solver tolerance.
+TEST(Dc, WarmStartFromConvergedOpSkipsTheLadder) {
+  for (const char* name : {"Two-TIA", "Two-Volt", "Three-TIA", "LDO"}) {
+    auto bc = gcnrl::circuits::make_benchmark(name, kTech);
+    circuit::Netlist nl = bc.netlist;
+    bc.space.apply(nl, bc.human_expert);
+    const sim::SimContext ctx(nl, kTech);
+    sim::DcStats cold_stats;
+    const sim::OpPoint cold =
+        sim::solve_dc(ctx, {}, nullptr, &cold_stats);
+    EXPECT_FALSE(cold_stats.warm_attempted) << name;
+
+    const std::vector<double> guess = sim::project_op(cold, ctx.map);
+    sim::DcStats warm_stats;
+    const sim::OpPoint warm =
+        sim::solve_dc(ctx, {}, &guess, &warm_stats);
+    EXPECT_TRUE(warm_stats.warm_attempted) << name;
+    EXPECT_TRUE(warm_stats.warm_converged) << name;
+    EXPECT_EQ(warm_stats.strategy, 0) << name;
+    EXPECT_LT(warm_stats.newton_iters, cold_stats.newton_iters) << name;
+    ASSERT_EQ(cold.v.size(), warm.v.size());
+    for (std::size_t i = 0; i < cold.v.size(); ++i) {
+      EXPECT_NEAR(cold.v[i], warm.v[i], 1e-5) << name << " node " << i;
+    }
+  }
+}
+
+// A hopeless warm guess must fall back to the untouched ladder, and the
+// fallback has to reproduce the cold solution BITWISE: the ladder starts
+// from zeros either way, so the guess can cost iterations but never
+// change the result.
+TEST(Dc, WarmStartFallbackIsBitwiseIdenticalToCold) {
+  auto bc = gcnrl::circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  const sim::SimContext ctx(nl, kTech);
+  const sim::OpPoint cold = sim::solve_dc(ctx);
+
+  // +-1 MV alternating: Newton under the 0.5 V/iteration damping cannot
+  // reach any physical solution within warm_max_iter from here.
+  std::vector<double> garbage(static_cast<std::size_t>(ctx.map.dim()));
+  for (std::size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = (i % 2 == 0) ? 1e6 : -1e6;
+  }
+  sim::DcStats stats;
+  const sim::OpPoint warm = sim::solve_dc(ctx, {}, &garbage, &stats);
+  EXPECT_TRUE(stats.warm_attempted);
+  EXPECT_FALSE(stats.warm_converged);
+  EXPECT_GE(stats.strategy, 1);
+  ASSERT_EQ(cold.v.size(), warm.v.size());
+  for (std::size_t i = 0; i < cold.v.size(); ++i) {
+    EXPECT_EQ(cold.v[i], warm.v[i]) << "node " << i;
+  }
+  ASSERT_EQ(cold.branch_i.size(), warm.branch_i.size());
+  for (std::size_t i = 0; i < cold.branch_i.size(); ++i) {
+    EXPECT_EQ(cold.branch_i[i], warm.branch_i[i]) << "branch " << i;
+  }
+}
+
+// op_at_time_zero() is memoized like op(): the second call must return
+// the same object without another DC solve.
+TEST(Dc, OpAtTimeZeroIsMemoized) {
+  auto bc = gcnrl::circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::Simulator s(nl, kTech);
+  const sim::OpPoint& first = s.op_at_time_zero();
+  const long calls_after_first = sim::sim_perf_snapshot().dc.calls;
+  const sim::OpPoint& second = s.op_at_time_zero();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(sim::sim_perf_snapshot().dc.calls, calls_after_first);
+}
+
+// The per-analysis perf registry attributes calls/items to the right
+// analysis and never charges wall time to analyses that did not run.
+TEST(Perf, RegistryAttributesPerAnalysis) {
+  auto bc = gcnrl::circuits::make_two_tia(kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  sim::sim_perf_reset();
+  sim::Simulator s(nl, kTech);
+  s.op();
+  s.ac(sim::logspace(1e3, 1e9, 13));
+  const sim::SimPerf p = sim::sim_perf_snapshot();
+  EXPECT_EQ(p.dc.calls, 1);
+  EXPECT_GT(p.dc.items, 0);  // Newton iterations
+  EXPECT_EQ(p.ac.calls, 1);
+  EXPECT_EQ(p.ac.items, 13);
+  EXPECT_EQ(p.noise.calls, 0);
+  EXPECT_EQ(p.tran.calls, 0);
+  EXPECT_GE(p.dc.seconds, 0.0);
+  sim::sim_perf_reset();
+  EXPECT_EQ(sim::sim_perf_snapshot().dc.calls, 0);
 }
