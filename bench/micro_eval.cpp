@@ -112,6 +112,22 @@ void BM_SingleEval_PerAnalysis(benchmark::State& state, const char* name) {
   c["ac_ms_per_eval"] = 1e3 * p.ac.seconds * inv;
   c["noise_ms_per_eval"] = 1e3 * p.noise.seconds * inv;
   c["tran_ms_per_eval"] = 1e3 * p.tran.seconds * inv;
+  // Phase split within each analysis (see sim::PhaseSeconds): the phases
+  // deliberately do not sum to the analysis total — device-model
+  // evaluation and convergence bookkeeping live between them.
+  const auto phase_rows = [&](const char* tag, const sim::AnalysisPerf& a) {
+    c[std::string(tag) + "_assembly_ms_per_eval"] =
+        1e3 * a.phase.assembly * inv;
+    c[std::string(tag) + "_factor_ms_per_eval"] = 1e3 * a.phase.factor * inv;
+    c[std::string(tag) + "_solve_ms_per_eval"] = 1e3 * a.phase.solve * inv;
+  };
+  phase_rows("dc", p.dc);
+  phase_rows("ac", p.ac);
+  phase_rows("noise", p.noise);
+  phase_rows("tran", p.tran);
+  c["sparse_fallbacks"] =
+      static_cast<double>(p.dc.sparse_fallbacks + p.ac.sparse_fallbacks +
+                          p.noise.sparse_fallbacks + p.tran.sparse_fallbacks);
   c["dc_solves_per_eval"] = static_cast<double>(p.dc.calls) * inv;
   c["dc_iters_per_eval"] = static_cast<double>(p.dc.items) * inv;
   c["ac_points_per_eval"] = static_cast<double>(p.ac.items) * inv;

@@ -5,7 +5,9 @@
 #include "circuits/benchmark_circuits.hpp"
 #include "common/rng.hpp"
 #include "env/sizing_env.hpp"
+#include "sim/perf.hpp"
 #include "sim/simulator.hpp"
+#include "sim/structure.hpp"
 #include "sim/warm.hpp"
 
 using namespace gcnrl;
@@ -94,6 +96,84 @@ void BM_AcAssemblySplit_TwoTia_97pts(benchmark::State& state) {
                           static_cast<long>(freqs.size()));
 }
 BENCHMARK(BM_AcAssemblySplit_TwoTia_97pts);
+
+// --- sparse vs dense engine rows -------------------------------------
+//
+// One DC row and one AC row per registered circuit and engine. Each row
+// reports the system size (dim, nnz) and the measured per-solve phase
+// split (assembly / factor / solve, in ns) from the sim-perf registry,
+// so a regression in any single phase is visible directly in CI's
+// BENCH_micro_sim.json instead of hiding inside a total.
+class SparseEngineGuard {
+ public:
+  explicit SparseEngineGuard(bool on) : prev_(sim::sparse_engine_enabled()) {
+    sim::set_sparse_engine_enabled(on);
+  }
+  ~SparseEngineGuard() { sim::set_sparse_engine_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+void report_phase_counters(benchmark::State& state, const sim::MnaStructure& st,
+                           const sim::AnalysisPerf& perf) {
+  state.counters["dim"] = static_cast<double>(st.pattern.n);
+  state.counters["nnz"] = static_cast<double>(st.pattern.nnz());
+  if (perf.calls == 0) return;
+  const double per_call = 1e9 / static_cast<double>(perf.calls);
+  state.counters["assembly_ns"] = perf.phase.assembly * per_call;
+  state.counters["factor_ns"] = perf.phase.factor * per_call;
+  state.counters["solve_ns"] = perf.phase.solve * per_call;
+  state.counters["sparse_fallbacks"] =
+      static_cast<double>(perf.sparse_fallbacks);
+}
+
+void BM_DcEngine(benchmark::State& state, const char* name, bool sparse) {
+  auto bc = circuits::make_benchmark(name, kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  SparseEngineGuard guard(sparse);
+  sim::sim_perf_reset();
+  for (auto _ : state) {
+    sim::Simulator s(nl, kTech);
+    benchmark::DoNotOptimize(s.op().v[0]);
+  }
+  const sim::SimPerf snap = sim::sim_perf_snapshot();
+  sim::Simulator s(nl, kTech);
+  report_phase_counters(state, *s.context().structure, snap.dc);
+}
+BENCHMARK_CAPTURE(BM_DcEngine, two_tia_sparse, "Two-TIA", true);
+BENCHMARK_CAPTURE(BM_DcEngine, two_tia_dense, "Two-TIA", false);
+BENCHMARK_CAPTURE(BM_DcEngine, two_volt_sparse, "Two-Volt", true);
+BENCHMARK_CAPTURE(BM_DcEngine, two_volt_dense, "Two-Volt", false);
+BENCHMARK_CAPTURE(BM_DcEngine, three_tia_sparse, "Three-TIA", true);
+BENCHMARK_CAPTURE(BM_DcEngine, three_tia_dense, "Three-TIA", false);
+BENCHMARK_CAPTURE(BM_DcEngine, ldo_sparse, "LDO", true);
+BENCHMARK_CAPTURE(BM_DcEngine, ldo_dense, "LDO", false);
+
+void BM_AcEngine(benchmark::State& state, const char* name, bool sparse) {
+  auto bc = circuits::make_benchmark(name, kTech);
+  circuit::Netlist nl = bc.netlist;
+  bc.space.apply(nl, bc.human_expert);
+  SparseEngineGuard guard(sparse);
+  sim::Simulator s(nl, kTech);
+  s.op();
+  const auto freqs = sim::logspace(1e3, 1e11, 97);
+  sim::sim_perf_reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.ac(freqs).v(0, 1));
+  }
+  const sim::SimPerf snap = sim::sim_perf_snapshot();
+  report_phase_counters(state, *s.context().structure, snap.ac);
+}
+BENCHMARK_CAPTURE(BM_AcEngine, two_tia_sparse, "Two-TIA", true);
+BENCHMARK_CAPTURE(BM_AcEngine, two_tia_dense, "Two-TIA", false);
+BENCHMARK_CAPTURE(BM_AcEngine, two_volt_sparse, "Two-Volt", true);
+BENCHMARK_CAPTURE(BM_AcEngine, two_volt_dense, "Two-Volt", false);
+BENCHMARK_CAPTURE(BM_AcEngine, three_tia_sparse, "Three-TIA", true);
+BENCHMARK_CAPTURE(BM_AcEngine, three_tia_dense, "Three-TIA", false);
+BENCHMARK_CAPTURE(BM_AcEngine, ldo_sparse, "LDO", true);
+BENCHMARK_CAPTURE(BM_AcEngine, ldo_dense, "LDO", false);
 
 void BM_FullEval(benchmark::State& state, const char* name) {
   auto bc = circuits::make_benchmark(name, kTech);

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "la/sparse.hpp"
+#include "sim/structure.hpp"
+
 namespace gcnrl::sim {
 
 MnaMap::MnaMap(const circuit::Netlist& nl)
@@ -15,7 +18,10 @@ SimContext::SimContext(const circuit::Netlist& netlist,
   for (const auto& mos : nl.mosfets()) {
     models.push_back(mos_model(tech, mos.is_pmos));
   }
+  structure = std::make_unique<MnaStructure>(nl, map);
 }
+
+SimContext::~SimContext() = default;
 
 void stamp_conductance(la::Mat& j, const MnaMap& m, int a, int b, double g) {
   const int ia = m.v(a);

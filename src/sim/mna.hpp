@@ -13,6 +13,7 @@
 //    it extracts from p and injects into n).
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -22,6 +23,10 @@
 #include "la/lu.hpp"
 #include "la/matrix.hpp"
 #include "sim/mosfet.hpp"
+
+namespace gcnrl::la {
+class SparseSweepLu;  // la/sparse.hpp
+}  // namespace gcnrl::la
 
 namespace gcnrl::sim {
 
@@ -56,15 +61,30 @@ class MnaMap {
   int dim_ = 0;
 };
 
+struct MnaStructure;  // sim/structure.hpp
+
 // Immutable per-simulation context: netlist + per-MOSFET models.
 struct SimContext {
   const circuit::Netlist& nl;
   circuit::Technology tech;
   std::vector<MosModel> models;  // aligned with nl.mosfets()
   MnaMap map;
+  // Sparse-engine structure (CSR pattern + stamp slots), computed once
+  // per context from the topology alone — see sim/structure.hpp. Always
+  // built (construction is one netlist walk); the engines consult
+  // sparse_engine_enabled() to decide whether to use it.
+  std::unique_ptr<const MnaStructure> structure;
+  // Lazily-created blocked sweep engine shared by the AC and noise
+  // sweeps: caching it here keeps the symbolic factorization (and its
+  // workspace allocations) alive across sweeps of the same context.
+  // mutable because the sweep entry points take a const context; safe
+  // because a Simulator (and thus its context) is never shared across
+  // threads.
+  mutable std::unique_ptr<la::SparseSweepLu> sweep_cache;
 
   SimContext(const circuit::Netlist& netlist,
              const circuit::Technology& technology);
+  ~SimContext();  // out of line: MnaStructure is incomplete here
 };
 
 // DC / large-signal operating point.

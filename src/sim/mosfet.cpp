@@ -17,28 +17,93 @@ double softplus(double x) {
   return kVtSub * std::log1p(std::exp(z));
 }
 
-// Core NMOS-convention current for vds >= 0.
-double id_core(const MosModel& m, double w_eff, double l, double vgs,
+// Current and its two partial derivatives from one model evaluation.
+struct IdGrad {
+  double id = 0.0;
+  double dvgs = 0.0;  // d id / d vgs
+  double dvds = 0.0;  // d id / d vds
+};
+
+// Core NMOS-convention current for vds >= 0, with analytic derivatives
+// propagated through every intermediate (softplus overdrive, mobility
+// degradation, velocity-saturation voltage, the smooth triode->saturation
+// clamp, and channel-length modulation). One transcendental set per call
+// — this is the Newton-loop hot path, evaluated once per device per
+// iteration where the previous finite-difference Jacobian needed five
+// model evaluations.
+IdGrad id_core(const MosModel& m, double w_eff, double l, double vgs,
                double vds) {
-  const double vov = softplus(vgs - m.vth0);
-  if (vov <= 0.0) return 0.0;
-  const double mu_eff = m.mu0 / (1.0 + m.uc * vov);
+  IdGrad r;
+  // Softplus overdrive and its slope (the logistic function).
+  const double z = (vgs - m.vth0) / kVtSub;
+  double vov, dvov;  // dvov = d vov / d vgs
+  if (z > 30.0) {
+    vov = vgs - m.vth0;
+    dvov = 1.0;
+  } else if (z < -30.0) {
+    const double ez = std::exp(z);
+    vov = kVtSub * ez;
+    dvov = ez;
+  } else {
+    const double ez = std::exp(z);
+    vov = kVtSub * std::log1p(ez);
+    dvov = ez / (1.0 + ez);
+  }
+  if (vov <= 0.0) return r;
+  const double mu_den = 1.0 + m.uc * vov;
+  const double mu_eff = m.mu0 / mu_den;
   const double beta = mu_eff * m.cox * (w_eff / l);
-  const double ec_l = 2.0 * m.vsat * l / mu_eff;  // velocity-sat voltage
-  const double vdsat = vov * ec_l / (vov + ec_l);
+  const double dbeta = -beta * m.uc / mu_den;             // d beta / d vov
+  const double ec_l = 2.0 * m.vsat * l / mu_eff;          // = 2 vsat l mu_den / mu0
+  const double dec_l = 2.0 * m.vsat * l * m.uc / m.mu0;   // d ec_l / d vov
+  const double vse = vov + ec_l;
+  const double vdsat = vov * ec_l / vse;
+  const double dvdsat =                                   // d vdsat / d vov
+      (ec_l * ec_l + vov * vov * dec_l) / (vse * vse);
   // Smooth triode->saturation clamp of the drain voltage.
   const double x = vds / vdsat;
-  const double vde = vds / std::cbrt(1.0 + x * x * x);
+  const double u = 1.0 + x * x * x;
+  const double cr = std::cbrt(u);
+  const double vde = vds / cr;
+  // d vde / d vds at fixed vdsat collapses to u^(-4/3); the vdsat path
+  // carries the gate dependence.
+  const double dvde_dvds = 1.0 / (u * cr);
+  const double dvde_dvdsat = vds * dvde_dvds * x * x * x / vdsat;
+  const double dvde_g = dvde_dvdsat * dvdsat * dvov;      // d vde / d vgs
   const double lambda = m.lambda_um / (l * 1e6);
-  return beta * (vov - 0.5 * vde) * vde * (1.0 + lambda * vds) /
-         (1.0 + vde / ec_l);
+  const double a = vov - 0.5 * vde;
+  const double cl = 1.0 + lambda * vds;
+  const double den = 1.0 + vde / ec_l;
+  r.id = beta * a * vde * cl / den;
+  // Gate partial: beta, a, vde, and den all move with vov.
+  const double dden_g = dvde_g / ec_l - vde * dec_l * dvov / (ec_l * ec_l);
+  r.dvgs = dbeta * dvov * a * vde * cl / den +
+           beta * cl *
+               ((dvov - 0.5 * dvde_g) * vde + a * dvde_g -
+                a * vde * dden_g / den) /
+               den;
+  // Drain partial: vde and the lambda term move with vds.
+  const double dden_d = dvde_dvds / ec_l;
+  r.dvds = beta *
+           ((-0.5 * dvde_dvds) * vde * cl + a * dvde_dvds * cl +
+            a * vde * lambda - a * vde * cl * dden_d / den) /
+           den;
+  return r;
 }
 
-// Symmetric wrapper: handles vds < 0 by swapping drain/source.
-double id_sym(const MosModel& m, double w_eff, double l, double vg, double vd,
+// Symmetric wrapper: handles vds < 0 by swapping drain/source. The
+// derivative mapping under reflection (id -> -id, vgs' = vg - vd,
+// vds' = vs - vd) gives gm = -d/dvgs' and gds = d/dvgs' + d/dvds',
+// matching the sign structure the finite differences used to produce.
+IdGrad id_sym(const MosModel& m, double w_eff, double l, double vg, double vd,
               double vs) {
   if (vd >= vs) return id_core(m, w_eff, l, vg - vs, vd - vs);
-  return -id_core(m, w_eff, l, vg - vd, vs - vd);
+  IdGrad c = id_core(m, w_eff, l, vg - vd, vs - vd);
+  IdGrad r;
+  r.id = -c.id;
+  r.dvgs = -c.dvgs;
+  r.dvds = c.dvgs + c.dvds;
+  return r;
 }
 
 }  // namespace
@@ -68,18 +133,13 @@ MosOp eval_mos(const MosModel& m, const circuit::Mosfet& geom, double vg,
   const double vd_i = sign * vd;
   const double vs_i = sign * vs;
 
-  const double id = id_sym(m, w_eff, l, vg_i, vd_i, vs_i);
-  const double h = 1e-6;
-  const double id_gp = id_sym(m, w_eff, l, vg_i + h, vd_i, vs_i);
-  const double id_gm = id_sym(m, w_eff, l, vg_i - h, vd_i, vs_i);
-  const double id_dp = id_sym(m, w_eff, l, vg_i, vd_i + h, vs_i);
-  const double id_dm = id_sym(m, w_eff, l, vg_i, vd_i - h, vs_i);
+  const IdGrad g = id_sym(m, w_eff, l, vg_i, vd_i, vs_i);
 
   MosOp op;
   // Mirroring cancels: d(sign*id_i)/d(sign*v) = d id_i / d v.
-  op.id = sign * id;
-  op.gm = (id_gp - id_gm) / (2.0 * h);
-  op.gds = (id_dp - id_dm) / (2.0 * h);
+  op.id = sign * g.id;
+  op.gm = g.dvgs;
+  op.gds = g.dvds;
   op.vov = softplus((vg_i - vs_i) - m.vth0);
   // Note: gm is negative w.r.t. the labeled gate terminal when the device
   // operates drain/source-reversed (vds < 0 internally). Do NOT clamp —

@@ -17,6 +17,19 @@
 
 namespace gcnrl::sim {
 
+// Wall time split by solver phase within one analysis call. `assembly` is
+// stamp evaluation + value-array/matrix fill, `factor` the LU
+// factorization (for the sparse AC/noise sweep this includes the blocked
+// per-frequency scatter, which is part of the blocked refactorization),
+// `solve` the triangular solves. The phases never sum exactly to the
+// analysis' total seconds — device-model evaluation, convergence checks
+// and bookkeeping live between them.
+struct PhaseSeconds {
+  double assembly = 0.0;
+  double factor = 0.0;
+  double solve = 0.0;
+};
+
 // One analysis kind's totals since the last reset.
 struct AnalysisPerf {
   long calls = 0;      // solve_dc / solve_ac / solve_noise / solve_tran calls
@@ -25,7 +38,10 @@ struct AnalysisPerf {
   long warm_hits = 0;  // DC only: solves converged directly from a warm start
   long warm_fallbacks = 0;  // DC only: warm attempts that fell back to the
                             // cold gmin/source-stepping ladder
-  double seconds = 0.0;     // wall time inside the analysis
+  long sparse_fallbacks = 0;  // analyses rerun densely after the sparse
+                              // engine rejected a factorization
+  double seconds = 0.0;       // wall time inside the analysis
+  PhaseSeconds phase;         // assembly / factor / solve attribution
 };
 
 struct SimPerf {
@@ -37,9 +53,15 @@ struct SimPerf {
 
 enum class Analysis { Dc, Ac, Noise, Tran };
 
-// Accumulate one analysis call. `items`/`warm_*` as per AnalysisPerf.
+// Accumulate one analysis call. `items`/`warm_*` as per AnalysisPerf;
+// `phases`, when non-null, adds per-phase attribution.
 void sim_perf_record(Analysis which, long items, double seconds,
-                     long warm_hits = 0, long warm_fallbacks = 0);
+                     long warm_hits = 0, long warm_fallbacks = 0,
+                     const PhaseSeconds* phases = nullptr);
+
+// Count one sparse-engine rejection (the analysis rerun happens on the
+// dense path and records itself through sim_perf_record as usual).
+void sim_perf_sparse_fallback(Analysis which);
 
 // Totals since process start or the last sim_perf_reset().
 SimPerf sim_perf_snapshot();

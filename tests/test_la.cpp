@@ -1,12 +1,16 @@
 // Unit tests for the dense linear-algebra substrate.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <complex>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "la/cholesky.hpp"
 #include "la/lu.hpp"
 #include "la/matrix.hpp"
+#include "la/sparse.hpp"
 #include "la/stats.hpp"
 
 namespace la = gcnrl::la;
@@ -20,6 +24,42 @@ la::Mat random_mat(int r, int c, Rng& rng, double scale = 1.0) {
     for (int j = 0; j < c; ++j) m(i, j) = rng.uniform(-scale, scale);
   }
   return m;
+}
+
+// Random structurally-symmetric sparse system (MNA-like: full diagonal,
+// symmetric off-diagonal pattern, diagonally dominant-ish values) plus
+// its dense mirror for reference solves.
+struct SparseSys {
+  la::SparsePattern pattern;
+  std::vector<double> vals;
+  la::Mat dense;
+};
+
+SparseSys random_sparse_system(int n, Rng& rng) {
+  std::vector<std::pair<int, int>> coords;
+  for (int i = 0; i < n; ++i) coords.emplace_back(i, i);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      const int j = static_cast<int>(rng.uniform_index(n));
+      if (j == i) continue;
+      coords.emplace_back(i, j);
+      coords.emplace_back(j, i);
+    }
+  }
+  SparseSys s;
+  s.pattern = la::SparsePattern::from_coords(n, std::move(coords));
+  s.vals.assign(s.pattern.nnz(), 0.0);
+  s.dense = la::Mat(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int e = s.pattern.row_ptr[r]; e < s.pattern.row_ptr[r + 1]; ++e) {
+      const int c = s.pattern.col_idx[e];
+      double v = rng.uniform(-1.0, 1.0);
+      if (r == c) v += 4.0;
+      s.vals[e] = v;
+      s.dense(r, c) = v;
+    }
+  }
+  return s;
 }
 
 }  // namespace
@@ -254,6 +294,220 @@ TEST(Rng, TruncatedNormalRespectsBounds) {
     const double x = r.truncated_normal(0.0, 2.0, -0.5, 0.5);
     EXPECT_GE(x, -0.5);
     EXPECT_LE(x, 0.5);
+  }
+}
+
+TEST(SparseLu, MatchesDenseOnRandomSystems) {
+  Rng rng(101);
+  for (const int n : {5, 12, 25}) {
+    const SparseSys s = random_sparse_system(n, rng);
+    la::SparseLuD lu(s.pattern);
+    ASSERT_TRUE(lu.factor_values(s.vals.data())) << "n=" << n;
+    EXPECT_GE(lu.factor_nnz(), s.pattern.n);  // n pivots at minimum
+    std::vector<double> b(n), x(n);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    lu.solve_into(b.data(), x.data());
+    const auto x_ref = la::solve(s.dense, b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+  }
+}
+
+TEST(SparseLu, SolveTransposedMatchesDense) {
+  Rng rng(202);
+  const int n = 14;
+  const SparseSys s = random_sparse_system(n, rng);
+  la::SparseLuD lu(s.pattern);
+  ASSERT_TRUE(lu.factor_values(s.vals.data()));
+  std::vector<double> b(n), x(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  lu.solve_transposed_into(b.data(), x.data());
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += s.dense(j, i) * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-9);
+  }
+}
+
+// A fixed-pivot refactorization on new values must reproduce a fresh
+// factorization of those values bitwise — this is what makes the DC warm
+// path, the transient loop, and the AC sweep deterministic regardless of
+// how many designs a SparseLu has already factored.
+TEST(SparseLu, RefactorMatchesFreshFactorBitwise) {
+  Rng rng(303);
+  const int n = 16;
+  SparseSys s = random_sparse_system(n, rng);
+  la::SparseLuD warm(s.pattern);
+  ASSERT_TRUE(warm.factor_values(s.vals.data()));
+  // New values, same dominance structure: the recorded pivots stay valid,
+  // so factor_values takes the refactor path.
+  for (auto& v : s.vals) v *= 1.0 + 0.01 * rng.uniform(-1.0, 1.0);
+  ASSERT_TRUE(warm.factor_values(s.vals.data()));
+  EXPECT_EQ(warm.repivots(), 0);
+  la::SparseLuD cold(s.pattern);
+  ASSERT_TRUE(cold.factor_values(s.vals.data()));
+  std::vector<double> b(n), xw(n), xc(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  warm.solve_into(b.data(), xw.data());
+  cold.solve_into(b.data(), xc.data());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(xw[i], xc[i]) << "i=" << i;
+}
+
+// Pinned pivot-fallback regression: a 2x2 whose recorded diagonal pivot
+// collapses below the threshold-pivot bound on the next value set. The
+// refactor must reject it (Status::PivotCheck) and factor_values must
+// transparently re-pivot — counting the event — and still solve right.
+TEST(SparseLu, PivotFallbackRepivotsAndStaysCorrect) {
+  const la::SparsePattern p =
+      la::SparsePattern::from_coords(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  la::SparseLuD lu(p);
+  // CSR slot order: (0,0), (0,1), (1,0), (1,1).
+  const double good[4] = {10.0, 1.0, 1.0, 10.0};
+  const double bad[4] = {1e-6, 1.0, 1.0, 1e-6};
+  ASSERT_EQ(lu.factor(good), la::SparseLuD::Status::Ok);
+  EXPECT_EQ(lu.refactor(bad), la::SparseLuD::Status::PivotCheck);
+  ASSERT_TRUE(lu.factor_values(bad));  // transparent re-pivot
+  EXPECT_EQ(lu.repivots(), 1);
+  const double b[2] = {1.0, 2.0};
+  double x[2];
+  lu.solve_into(b, x);
+  la::Mat dense{{1e-6, 1.0}, {1.0, 1e-6}};
+  const auto x_ref = la::solve(dense, {1.0, 2.0});
+  EXPECT_NEAR(x[0], x_ref[0], 1e-9);
+  EXPECT_NEAR(x[1], x_ref[1], 1e-9);
+}
+
+TEST(SparseLu, SingularIsRejectedNotUb) {
+  const la::SparsePattern p =
+      la::SparsePattern::from_coords(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  la::SparseLuD lu(p);
+  const double zeros[4] = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(lu.factor_values(zeros));
+  EXPECT_FALSE(lu.factored());
+  EXPECT_EQ(lu.last_status(), la::SparseLuD::Status::Singular);
+}
+
+TEST(SparseLu, ComplexMatchesDense) {
+  using cd = std::complex<double>;
+  Rng rng(404);
+  const int n = 10;
+  const SparseSys s = random_sparse_system(n, rng);
+  std::vector<cd> vals(s.vals.size());
+  la::CMat dense(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int e = s.pattern.row_ptr[r]; e < s.pattern.row_ptr[r + 1]; ++e) {
+      const cd v(s.vals[e], 0.25 * rng.uniform(-1.0, 1.0));
+      vals[e] = v;
+      dense(r, s.pattern.col_idx[e]) = v;
+    }
+  }
+  la::SparseLuC lu(s.pattern);
+  ASSERT_TRUE(lu.factor_values(vals.data()));
+  std::vector<cd> b(n), x(n);
+  for (auto& v : b) v = cd(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  lu.solve_into(b.data(), x.data());
+  const auto x_ref = la::solve(dense, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(std::abs(x[i] - x_ref[i]), 0.0, 1e-9);
+}
+
+namespace {
+
+// Dense reference Y(w) = G + j*w*C from pattern-aligned value arrays.
+la::CMat dense_ac_matrix(const la::SparsePattern& p,
+                         const std::vector<double>& g,
+                         const std::vector<double>& c, double omega) {
+  la::CMat y(p.n, p.n);
+  for (int r = 0; r < p.n; ++r) {
+    for (int e = p.row_ptr[r]; e < p.row_ptr[r + 1]; ++e) {
+      y(r, p.col_idx[e]) = std::complex<double>(g[e], omega * c[e]);
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+// The SoA blocked sweep must match a per-frequency dense complex solve,
+// on a full 8-lane block and on a tail block with count < kMaxLanes.
+TEST(SparseSweepLu, BlockedSolvesMatchDense) {
+  using cd = std::complex<double>;
+  Rng rng(505);
+  const int n = 11;
+  const SparseSys s = random_sparse_system(n, rng);
+  std::vector<double> g = s.vals, c(s.vals.size(), 0.0);
+  for (int r = 0; r < n; ++r) {
+    for (int e = s.pattern.row_ptr[r]; e < s.pattern.row_ptr[r + 1]; ++e) {
+      if (s.pattern.col_idx[e] == r) c[e] = 1e-12 * (1.0 + rng.uniform());
+    }
+  }
+  std::vector<cd> b(n);
+  for (auto& v : b) v = cd(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+
+  la::SparseSweepLu sweep(s.pattern);
+  constexpr int kLanes = la::SparseSweepLu::kMaxLanes;
+  std::vector<cd> out(static_cast<std::size_t>(kLanes) * n);
+  for (const int count : {kLanes, 3}) {
+    std::vector<double> omega(count);
+    for (int f = 0; f < count; ++f) {
+      omega[f] = 2.0 * M_PI * std::pow(10.0, 4.0 + f + (count == 3 ? 4 : 0));
+    }
+    ASSERT_TRUE(sweep.factor_block(g.data(), c.data(), omega.data(), count));
+    sweep.solve_block(b.data(), out.data(), n);
+    for (int f = 0; f < count; ++f) {
+      la::Lu<cd> dense(dense_ac_matrix(s.pattern, g, c, omega[f]));
+      const auto x_ref = dense.solve(b);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(std::abs(out[static_cast<std::size_t>(f) * n + i] -
+                             x_ref[i]),
+                    0.0, 1e-9)
+            << "count=" << count << " lane=" << f << " i=" << i;
+      }
+    }
+    sweep.solve_transposed_block(b.data(), out.data(), n);
+    for (int f = 0; f < count; ++f) {
+      la::Lu<cd> dense(dense_ac_matrix(s.pattern, g, c, omega[f]));
+      const auto x_ref = dense.solve_transposed(b, /*conjugate=*/false);
+      for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(std::abs(out[static_cast<std::size_t>(f) * n + i] -
+                             x_ref[i]),
+                    0.0, 1e-9)
+            << "count=" << count << " lane=" << f << " i=" << i;
+      }
+    }
+  }
+}
+
+// A block whose values invalidate the recorded pivot order must make
+// factor_block re-pivot internally (not fail): the warm fast path rejects
+// the lanes, the scalar factorization re-pivots at the block's first
+// frequency, and the retried blocked refactor succeeds.
+TEST(SparseSweepLu, LaneRejectionRepivotsTransparently) {
+  using cd = std::complex<double>;
+  const la::SparsePattern p =
+      la::SparsePattern::from_coords(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  la::SparseSweepLu sweep(p);
+  const double good[4] = {10.0, 1.0, 1.0, 10.0};
+  const double bad[4] = {1e-6, 1.0, 1.0, 1e-6};
+  const double c[4] = {1e-12, 0.0, 0.0, 1e-12};
+  const double omega[2] = {1e4, 1e5};
+  ASSERT_TRUE(sweep.factor_block(good, c, omega, 2));
+  const long repivots_before = sweep.repivots();
+  ASSERT_TRUE(sweep.factor_block(bad, c, omega, 2));
+  EXPECT_GT(sweep.repivots(), repivots_before);
+  const std::vector<cd> b{cd(1.0, 0.0), cd(2.0, 0.0)};
+  std::vector<cd> out(2 * 2);
+  sweep.solve_block(b.data(), out.data(), 2);
+  for (int f = 0; f < 2; ++f) {
+    la::CMat y(2, 2);
+    y(0, 0) = cd(bad[0], omega[f] * c[0]);
+    y(0, 1) = cd(bad[1], 0.0);
+    y(1, 0) = cd(bad[2], 0.0);
+    y(1, 1) = cd(bad[3], omega[f] * c[3]);
+    const auto x_ref = la::solve(y, b);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_NEAR(std::abs(out[static_cast<std::size_t>(f) * 2 + i] -
+                           x_ref[i]),
+                  0.0, 1e-9);
+    }
   }
 }
 
