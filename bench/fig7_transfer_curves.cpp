@@ -2,6 +2,11 @@
 // 180 nm to each target node on Three-TIA, transfer vs no-transfer, with
 // identical warm-up seeds (the curves coincide during warm-up and split
 // afterwards, exactly as in the paper's figure). Emits fig7_<node>.csv.
+//
+// One api::run_tasks list: a 1-seed 180 nm pretrain (historical Rng(500))
+// and, per node, a from-scratch and a pretrain_from fine-tune on the
+// historical Rng(901) seed — byte-identical CSVs to the previous
+// hand-wired harness at any GCNRL_EVAL_THREADS.
 #include <cstdio>
 
 #include "common.hpp"
@@ -10,48 +15,55 @@ using namespace gcnrl;
 
 int main() {
   const BenchConfig cfg = bench_config();
-  Rng rng(2024);
-  const auto tech180 = circuit::make_technology("180nm");
   const auto svc =
       std::make_shared<env::EvalService>(env::eval_config_from_env());
+  const std::vector<std::string> nodes = {"45nm", "65nm", "130nm", "250nm"};
 
   std::printf("Fig 7: Three-TIA transfer curves (pretrain=%d, budget=%d)\n%s\n\n",
               cfg.steps, cfg.transfer_steps, bench::eval_banner().c_str());
 
-  bench::EnvFactory factory180("Three-TIA", tech180, env::IndexMode::OneHot,
-                               cfg.calib_samples, rng, svc);
-  auto env180 = factory180.make();
-  rl::DdpgConfig pre_cfg;
-  pre_cfg.warmup = cfg.warmup;
-  rl::DdpgAgent pretrained(env180->state(), env180->adjacency(),
-                           env180->kinds(), pre_cfg, Rng(500));
-  rl::run_ddpg(*env180, pretrained, cfg.steps);
+  std::vector<api::TaskSpec> tasks;
+  api::TaskSpec pre;
+  pre.circuit = "Three-TIA";
+  pre.method = "GCN-RL";
+  pre.node = "180nm";
+  pre.steps = cfg.steps;
+  pre.warmup = cfg.warmup;
+  pre.label = "pre180";
+  pre.seed_base = 500;
+  tasks.push_back(pre);
+  for (const auto& node : nodes) {
+    for (const bool transfer : {false, true}) {
+      api::TaskSpec t;
+      t.circuit = "Three-TIA";
+      t.method = "GCN-RL";
+      t.node = node;
+      t.steps = cfg.transfer_steps;
+      t.warmup = cfg.transfer_warmup;
+      t.seed_base = 901;
+      t.label = node + (transfer ? " transfer" : " no transfer");
+      if (transfer) t.pretrain_from = "pre180";
+      tasks.push_back(t);
+    }
+  }
+
+  api::RunOptions opts;
+  opts.service = svc;
+  opts.calib_samples = cfg.calib_samples;
+  const auto results = api::run_tasks(tasks, opts);
   std::printf("  pretrained at 180nm\n");
 
-  for (const std::string node : {"45nm", "65nm", "130nm", "250nm"}) {
-    bench::EnvFactory factory("Three-TIA", circuit::make_technology(node),
-                              env::IndexMode::OneHot, cfg.calib_samples,
-                              rng, svc);
-    rl::DdpgConfig t_cfg;
-    t_cfg.warmup = cfg.transfer_warmup;
-    // Both modes advance in lockstep (identical Rng(901) warm-up streams,
-    // two simulations per step on the shared service).
-    std::vector<bench::LockstepSpec> specs;
-    for (const bool transfer : {false, true}) {
-      specs.push_back(bench::LockstepSpec{
-          t_cfg, Rng(901), transfer ? &pretrained : nullptr, {}});
-    }
-    bench::LockstepGroup group(factory, std::move(specs));
-    auto runs = group.run(cfg.transfer_steps);
-    const rl::RunResult none = std::move(runs[0]);
-    const rl::RunResult xfer = std::move(runs[1]);
+  std::size_t i = 1;  // results[0] is the pretrain task
+  for (const auto& node : nodes) {
+    const rl::RunResult& none = results[i++].runs[0];
+    const rl::RunResult& xfer = results[i++].runs[0];
     const std::string path = "fig7_" + node + ".csv";
     CsvWriter csv(path);
     csv.row({"step", "no_transfer", "transfer"});
-    for (std::size_t i = 0; i < none.best_trace.size(); ++i) {
-      csv.row({std::to_string(i + 1),
-               TextTable::num(none.best_trace[i], 6),
-               TextTable::num(xfer.best_trace[i], 6)});
+    for (std::size_t k = 0; k < none.best_trace.size(); ++k) {
+      csv.row({std::to_string(k + 1),
+               TextTable::num(none.best_trace[k], 6),
+               TextTable::num(xfer.best_trace[k], 6)});
     }
     std::printf("  %s: no-transfer %.3f vs transfer %.3f -> %s\n",
                 node.c_str(), none.best_fom, xfer.best_fom, path.c_str());

@@ -1,6 +1,12 @@
 // Figure 8 reproduction: topology-transfer learning curves for both
 // directions (Two-TIA <-> Three-TIA): GCN-RL transfer vs NG-RL transfer
 // vs no transfer, shared warm-up seeds. Emits fig8_<src>_to_<dst>.csv.
+//
+// One api::run_tasks list mirroring table5: per direction, GCN and NG
+// pretrains on the source topology (historical Rng(600)) and three
+// single-seed fine-tune modes on the destination (historical Rng(902)),
+// Scalar index mode throughout, one calib_group per direction —
+// byte-identical CSVs at any GCNRL_EVAL_THREADS.
 #include <cstdio>
 
 #include "common.hpp"
@@ -9,70 +15,74 @@ using namespace gcnrl;
 
 int main() {
   const BenchConfig cfg = bench_config();
-  Rng rng(2024);
-  const auto tech = circuit::make_technology("180nm");
   const auto svc =
       std::make_shared<env::EvalService>(env::eval_config_from_env());
+  const std::vector<std::pair<std::string, std::string>> directions = {
+      {"Two-TIA", "Three-TIA"}, {"Three-TIA", "Two-TIA"}};
 
   std::printf("Fig 8: topology-transfer curves (pretrain=%d, budget=%d)\n%s\n\n",
               cfg.steps, cfg.transfer_steps, bench::eval_banner().c_str());
 
-  for (const auto& [src, dst] :
-       std::vector<std::pair<std::string, std::string>>{
-           {"Two-TIA", "Three-TIA"}, {"Three-TIA", "Two-TIA"}}) {
-    bench::EnvFactory src_factory(src, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng, svc);
-    bench::EnvFactory dst_factory(dst, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng, svc);
-    std::map<std::string, rl::RunResult> curves;
-    // Pretrain both variants in lockstep on the shared service; the group
-    // owns the pretrained agents used as weight sources below.
-    std::vector<bench::LockstepSpec> pre_specs;
-    for (bool use_gcn : {true, false}) {
-      rl::DdpgConfig pre_cfg;
-      pre_cfg.warmup = cfg.warmup;
-      pre_cfg.use_gcn = use_gcn;
-      pre_specs.push_back(bench::LockstepSpec{pre_cfg, Rng(600), nullptr, {}});
+  std::vector<api::TaskSpec> tasks;
+  for (const auto& [src, dst] : directions) {
+    const std::string tag = src + ">" + dst;
+    for (const std::string method : {"GCN-RL", "NG-RL"}) {
+      api::TaskSpec pre;
+      pre.circuit = src;
+      pre.method = method;
+      pre.steps = cfg.steps;
+      pre.warmup = cfg.warmup;
+      pre.label = tag + " pre " + method;
+      pre.index_mode = env::IndexMode::Scalar;
+      pre.calib_group = tag;
+      pre.seed_base = 600;
+      tasks.push_back(pre);
     }
-    bench::LockstepGroup pre(src_factory, std::move(pre_specs));
-    pre.run(cfg.steps);
-    const std::map<bool, rl::DdpgAgent*> pretrained = {{true, &pre.agent(0)},
-                                                       {false, &pre.agent(1)}};
+    // Mode order: no transfer, NG transfer, GCN transfer — all on the
+    // identical Rng(902) warm-up stream.
+    for (int mode = 0; mode < 3; ++mode) {
+      api::TaskSpec t;
+      t.circuit = dst;
+      t.method = mode == 1 ? "NG-RL" : "GCN-RL";
+      t.steps = cfg.transfer_steps;
+      t.warmup = cfg.transfer_warmup;
+      t.index_mode = env::IndexMode::Scalar;
+      t.calib_group = tag;
+      t.seed_base = 902;
+      t.label = tag + (mode == 0   ? " no_transfer"
+                       : mode == 1 ? " ng_transfer"
+                                   : " gcn_transfer");
+      if (mode > 0) t.pretrain_from = tag + " pre " + t.method;
+      tasks.push_back(t);
+    }
+  }
 
-    // All three fine-tuning modes in lockstep (identical Rng(902) warm-up
-    // streams, three simulations per step).
-    rl::DdpgConfig t_cfg;
-    t_cfg.warmup = cfg.transfer_warmup;
-    const std::vector<std::string> modes = {"no_transfer", "ng_transfer",
-                                            "gcn_transfer"};
-    std::vector<bench::LockstepSpec> specs;
-    for (std::size_t mode = 0; mode < modes.size(); ++mode) {
-      rl::DdpgConfig m_cfg = t_cfg;
-      const bool use_gcn = mode == 2;
-      if (mode > 0) m_cfg.use_gcn = use_gcn;
-      specs.push_back(bench::LockstepSpec{
-          m_cfg, Rng(902), mode > 0 ? pretrained.at(use_gcn) : nullptr, {}});
-    }
-    bench::LockstepGroup group(dst_factory, std::move(specs));
-    auto runs = group.run(cfg.transfer_steps);
-    for (std::size_t mode = 0; mode < modes.size(); ++mode) {
-      curves[modes[mode]] = std::move(runs[mode]);
-    }
+  api::RunOptions opts;
+  opts.service = svc;
+  opts.calib_samples = cfg.calib_samples;
+  const auto results = api::run_tasks(tasks, opts);
+
+  for (std::size_t d = 0; d < directions.size(); ++d) {
+    const auto& [src, dst] = directions[d];
+    // Per direction: [pre GCN, pre NG, no_transfer, ng_transfer,
+    // gcn_transfer].
+    const std::size_t base = d * 5;
+    const rl::RunResult& none = results[base + 2].runs[0];
+    const rl::RunResult& ng = results[base + 3].runs[0];
+    const rl::RunResult& gcn = results[base + 4].runs[0];
 
     const std::string path = "fig8_" + src + "_to_" + dst + ".csv";
     CsvWriter csv(path);
     csv.row({"step", "no_transfer", "ng_transfer", "gcn_transfer"});
-    for (std::size_t i = 0; i < curves["no_transfer"].best_trace.size();
-         ++i) {
+    for (std::size_t i = 0; i < none.best_trace.size(); ++i) {
       csv.row({std::to_string(i + 1),
-               TextTable::num(curves["no_transfer"].best_trace[i], 6),
-               TextTable::num(curves["ng_transfer"].best_trace[i], 6),
-               TextTable::num(curves["gcn_transfer"].best_trace[i], 6)});
+               TextTable::num(none.best_trace[i], 6),
+               TextTable::num(ng.best_trace[i], 6),
+               TextTable::num(gcn.best_trace[i], 6)});
     }
     std::printf("  %s -> %s: none %.3f | NG %.3f | GCN %.3f -> %s\n",
-                src.c_str(), dst.c_str(), curves["no_transfer"].best_fom,
-                curves["ng_transfer"].best_fom,
-                curves["gcn_transfer"].best_fom, path.c_str());
+                src.c_str(), dst.c_str(), none.best_fom, ng.best_fom,
+                gcn.best_fom, path.c_str());
     std::fflush(stdout);
   }
   std::printf("%s\n", bench::service_usage(*svc).c_str());

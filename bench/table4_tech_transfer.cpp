@@ -3,6 +3,14 @@
 // copied into agents for the target nodes and fine-tuned with a small
 // step budget; the baseline trains from scratch with the same budget and
 // the same seeds (paper: 300 steps = 100 warm-up + 200 exploration).
+//
+// The whole protocol is one api::run_tasks list: per circuit a 1-seed
+// 180 nm pretrain task (historical Rng(500)) and, per target node, a
+// from-scratch and a pretrain_from fine-tune sharing the historical
+// 900 + 31*s seed ladder. The planner orders pretrains before their
+// consumers and merges everything else into lockstep groups; per-task
+// results are bit-identical to the previous hand-wired LockstepGroup
+// harness at any GCNRL_EVAL_THREADS.
 #include <cstdio>
 
 #include "common.hpp"
@@ -11,8 +19,6 @@ using namespace gcnrl;
 
 int main() {
   const BenchConfig cfg = bench_config();
-  Rng rng(2024);
-  const auto tech180 = circuit::make_technology("180nm");
   const auto svc =
       std::make_shared<env::EvalService>(env::eval_config_from_env());
   const std::vector<std::string> targets = {"250nm", "130nm", "65nm",
@@ -25,54 +31,56 @@ int main() {
       cfg.steps, cfg.transfer_steps, cfg.transfer_warmup, cfg.seeds,
       bench::eval_banner().c_str());
 
-  TextTable table({"Circuit / mode", "250nm", "130nm", "65nm", "45nm"});
-
+  std::vector<api::TaskSpec> tasks;
   for (const std::string circuit_name : {"Two-TIA", "Three-TIA"}) {
-    // Pretrain once at 180 nm.
-    bench::EnvFactory factory180(circuit_name, tech180,
-                                 env::IndexMode::OneHot, cfg.calib_samples,
-                                 rng, svc);
-    auto env180 = factory180.make();
-    rl::DdpgConfig pre_cfg;
-    pre_cfg.warmup = cfg.warmup;
-    rl::DdpgAgent pretrained(env180->state(), env180->adjacency(),
-                             env180->kinds(), pre_cfg, Rng(500));
-    rl::run_ddpg(*env180, pretrained, cfg.steps);
+    api::TaskSpec pre;
+    pre.circuit = circuit_name;
+    pre.method = "GCN-RL";
+    pre.node = "180nm";
+    pre.steps = cfg.steps;
+    pre.warmup = cfg.warmup;
+    pre.label = circuit_name + "-pre180";
+    pre.seed_base = 500;
+    tasks.push_back(pre);
+    for (const auto& node : targets) {
+      // Same seed ladder for both modes: identical warm-up samples
+      // (paper: "We use the same random seeds for two methods").
+      for (const bool transfer : {false, true}) {
+        api::TaskSpec t;
+        t.circuit = circuit_name;
+        t.method = "GCN-RL";
+        t.node = node;
+        t.steps = cfg.transfer_steps;
+        t.warmup = cfg.transfer_warmup;
+        t.seeds = cfg.seeds;
+        t.seed_base = 900;
+        t.seed_stride = 31;
+        t.label = circuit_name + "@" + node +
+                  (transfer ? " transfer" : " no transfer");
+        if (transfer) t.pretrain_from = circuit_name + "-pre180";
+        tasks.push_back(t);
+      }
+    }
+  }
+
+  api::RunOptions opts;
+  opts.service = svc;
+  opts.calib_samples = cfg.calib_samples;
+  const auto results = api::run_tasks(tasks, opts);
+
+  TextTable table({"Circuit / mode", "250nm", "130nm", "65nm", "45nm"});
+  std::size_t i = 0;
+  for (const std::string circuit_name : {"Two-TIA", "Three-TIA"}) {
+    ++i;  // the pretrain task's own result feeds no table cell
     std::printf("  %s pretrained at 180nm\n", circuit_name.c_str());
     std::fflush(stdout);
-
     std::vector<std::string> row_none = {circuit_name + " no transfer"};
     std::vector<std::string> row_xfer = {circuit_name + " transfer"};
     for (const auto& node : targets) {
-      bench::EnvFactory factory(circuit_name, circuit::make_technology(node),
-                                env::IndexMode::OneHot, cfg.calib_samples,
-                                rng, svc);
-      // All 2 x seeds fine-tuning runs advance in lockstep: one batch of
-      // 2*seeds simulations per step on the shared service. Same seed for
-      // both modes: identical warm-up samples (paper: "We use the same
-      // random seeds for two methods").
-      std::vector<bench::LockstepSpec> specs;
-      rl::DdpgConfig t_cfg;
-      t_cfg.warmup = cfg.transfer_warmup;
-      for (int s = 0; s < cfg.seeds; ++s) {
-        const std::uint64_t seed = 900 + 31 * s;
-        for (const bool transfer : {false, true}) {
-          specs.push_back(bench::LockstepSpec{
-              t_cfg, Rng(seed), transfer ? &pretrained : nullptr, {}});
-        }
-      }
-      bench::LockstepGroup group(factory, std::move(specs));
-      const auto runs = group.run(cfg.transfer_steps);
-      std::vector<double> none_best, xfer_best;
-      for (int s = 0; s < cfg.seeds; ++s) {
-        none_best.push_back(runs[static_cast<std::size_t>(2 * s)].best_fom);
-        xfer_best.push_back(
-            runs[static_cast<std::size_t>(2 * s + 1)].best_fom);
-      }
-      row_none.push_back(
-          bench::pm(la::mean(none_best), la::stddev(none_best)));
-      row_xfer.push_back(
-          bench::pm(la::mean(xfer_best), la::stddev(xfer_best)));
+      const api::TaskResult& none = results[i++];
+      const api::TaskResult& xfer = results[i++];
+      row_none.push_back(bench::pm(none.mean, none.stddev));
+      row_xfer.push_back(bench::pm(xfer.mean, xfer.stddev));
       std::printf("  %s @ %s: none=%s  transfer=%s\n", circuit_name.c_str(),
                   node.c_str(), row_none.back().c_str(),
                   row_xfer.back().c_str());

@@ -3,6 +3,14 @@
 // Three modes per direction: no transfer / NG-RL transfer / GCN-RL
 // transfer. The paper's headline: without the GCN, transferred knowledge
 // is no better than starting fresh.
+//
+// One api::run_tasks list: per direction, GCN and NG pretrain tasks on
+// the source topology (historical Rng(600)) and the three fine-tune modes
+// on the destination (700 + 17*s seed ladder), all in Scalar index mode
+// via the per-task override. Each direction carries its own calib_group
+// tag so the destination factory is recalibrated per direction, exactly
+// as the previous hand-wired harness constructed its factories —
+// byte-identical tables at any GCNRL_EVAL_THREADS.
 #include <cstdio>
 
 #include "common.hpp"
@@ -19,82 +27,82 @@ struct Direction {
 
 int main() {
   const BenchConfig cfg = bench_config();
-  Rng rng(2024);
-  const auto tech = circuit::make_technology("180nm");
   const auto svc =
       std::make_shared<env::EvalService>(env::eval_config_from_env());
+  const std::vector<Direction> directions = {{"Two-TIA", "Three-TIA"},
+                                             {"Three-TIA", "Two-TIA"}};
 
   std::printf(
       "Table V: topology transfer (pretrain=%d, budget=%d steps, seeds=%d)\n"
       "%s\n\n",
       cfg.steps, cfg.transfer_steps, cfg.seeds, bench::eval_banner().c_str());
 
-  TextTable table({"Mode", "Two-TIA -> Three-TIA", "Three-TIA -> Two-TIA"});
-  std::map<std::string, std::vector<std::string>> rows = {
-      {"No Transfer", {"No Transfer"}},
-      {"NG-RL Transfer", {"NG-RL Transfer"}},
-      {"GCN-RL Transfer", {"GCN-RL Transfer"}},
-  };
-
-  for (const Direction& dir : {Direction{"Two-TIA", "Three-TIA"},
-                               Direction{"Three-TIA", "Two-TIA"}}) {
-    bench::EnvFactory src_factory(dir.src, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng, svc);
-    bench::EnvFactory dst_factory(dir.dst, tech, env::IndexMode::Scalar,
-                                  cfg.calib_samples, rng, svc);
-
-    // Pretrain GCN and NG agents on the source topology, in lockstep (two
-    // simulations per step on the shared service). The group owns the
-    // pretrained agents, so it outlives the transfer runs below.
-    std::vector<bench::LockstepSpec> pre_specs;
-    for (bool use_gcn : {true, false}) {
-      rl::DdpgConfig pre_cfg;
-      pre_cfg.warmup = cfg.warmup;
-      pre_cfg.use_gcn = use_gcn;
-      pre_specs.push_back(bench::LockstepSpec{pre_cfg, Rng(600), nullptr, {}});
+  std::vector<api::TaskSpec> tasks;
+  for (const Direction& dir : directions) {
+    const std::string tag = dir.src + ">" + dir.dst;
+    // Pretrain GCN and NG agents on the source topology.
+    for (const std::string method : {"GCN-RL", "NG-RL"}) {
+      api::TaskSpec pre;
+      pre.circuit = dir.src;
+      pre.method = method;
+      pre.steps = cfg.steps;
+      pre.warmup = cfg.warmup;
+      pre.label = tag + " pre " + method;
+      pre.index_mode = env::IndexMode::Scalar;
+      pre.calib_group = tag;
+      pre.seed_base = 600;
+      tasks.push_back(pre);
     }
-    bench::LockstepGroup pre(src_factory, std::move(pre_specs));
-    pre.run(cfg.steps);
-    const std::map<bool, rl::DdpgAgent*> pretrained = {{true, &pre.agent(0)},
-                                                       {false, &pre.agent(1)}};
+    // Fine-tune the three modes on the destination. Mode order: none, NG
+    // transfer, GCN transfer ("no transfer" trains a GCN agent from
+    // scratch).
+    for (int mode = 0; mode < 3; ++mode) {
+      api::TaskSpec t;
+      t.circuit = dir.dst;
+      t.method = mode == 1 ? "NG-RL" : "GCN-RL";
+      t.steps = cfg.transfer_steps;
+      t.warmup = cfg.transfer_warmup;
+      t.seeds = cfg.seeds;
+      t.index_mode = env::IndexMode::Scalar;
+      t.calib_group = tag;
+      t.seed_base = 700;
+      t.seed_stride = 17;
+      t.label = tag + (mode == 0   ? " none"
+                       : mode == 1 ? " ng-xfer"
+                                   : " gcn-xfer");
+      if (mode > 0) t.pretrain_from = tag + " pre " + t.method;
+      tasks.push_back(t);
+    }
+  }
+
+  api::RunOptions opts;
+  opts.service = svc;
+  opts.calib_samples = cfg.calib_samples;
+  const auto results = api::run_tasks(tasks, opts);
+
+  TextTable table({"Mode", "Two-TIA -> Three-TIA", "Three-TIA -> Two-TIA"});
+  std::vector<std::string> row_none = {"No Transfer"};
+  std::vector<std::string> row_ng = {"NG-RL Transfer"};
+  std::vector<std::string> row_gcn = {"GCN-RL Transfer"};
+  for (std::size_t d = 0; d < directions.size(); ++d) {
+    const Direction& dir = directions[d];
+    // Per direction: [pre GCN, pre NG, none, ng-xfer, gcn-xfer].
+    const std::size_t base = d * 5;
     std::printf("  %s agents pretrained\n", dir.src.c_str());
     std::fflush(stdout);
-
-    // Fine-tune all 3 modes x seeds in one lockstep group.
-    std::vector<bench::LockstepSpec> specs;
-    for (int s = 0; s < cfg.seeds; ++s) {
-      const std::uint64_t seed = 700 + 17 * s;
-      rl::DdpgConfig t_cfg;
-      t_cfg.warmup = cfg.transfer_warmup;
-      // Mode order per seed: none, NG transfer, GCN transfer.
-      for (int mode = 0; mode < 3; ++mode) {
-        rl::DdpgConfig m_cfg = t_cfg;
-        const bool use_gcn = mode == 2;
-        if (mode > 0) m_cfg.use_gcn = use_gcn;
-        specs.push_back(bench::LockstepSpec{
-            m_cfg, Rng(seed), mode > 0 ? pretrained.at(use_gcn) : nullptr,
-            {}});
-      }
-    }
-    bench::LockstepGroup group(dst_factory, std::move(specs));
-    const auto runs = group.run(cfg.transfer_steps);
-    std::vector<double> none, ng, gcn;
-    for (int s = 0; s < cfg.seeds; ++s) {
-      none.push_back(runs[static_cast<std::size_t>(3 * s)].best_fom);
-      ng.push_back(runs[static_cast<std::size_t>(3 * s + 1)].best_fom);
-      gcn.push_back(runs[static_cast<std::size_t>(3 * s + 2)].best_fom);
-    }
-    rows["No Transfer"].push_back(bench::pm(la::mean(none), la::stddev(none)));
-    rows["NG-RL Transfer"].push_back(bench::pm(la::mean(ng), la::stddev(ng)));
-    rows["GCN-RL Transfer"].push_back(
-        bench::pm(la::mean(gcn), la::stddev(gcn)));
+    const api::TaskResult& none = results[base + 2];
+    const api::TaskResult& ng = results[base + 3];
+    const api::TaskResult& gcn = results[base + 4];
+    row_none.push_back(bench::pm(none.mean, none.stddev));
+    row_ng.push_back(bench::pm(ng.mean, ng.stddev));
+    row_gcn.push_back(bench::pm(gcn.mean, gcn.stddev));
     std::printf("  %s -> %s done\n", dir.src.c_str(), dir.dst.c_str());
     std::fflush(stdout);
   }
 
-  table.add_row(rows["No Transfer"]);
-  table.add_row(rows["NG-RL Transfer"]);
-  table.add_row(rows["GCN-RL Transfer"]);
+  table.add_row(row_none);
+  table.add_row(row_ng);
+  table.add_row(row_gcn);
   std::printf("\n");
   table.print();
   std::printf("%s\n", bench::service_usage(*svc).c_str());

@@ -1,6 +1,8 @@
 // gcnrl public facade: one include for the task-level API.
 //
-//   registry.hpp  CircuitRegistry / MethodRegistry extension points
+//   registry.hpp     CircuitRegistry / MethodRegistry extension points
+//   checkpoints.hpp  CheckpointStore — named, stamped weight artifacts
+//                    (the zoo TaskSpec::save/load_checkpoint addresses)
 //   task.hpp      TaskSpec / TaskResult / run_tasks planner + the
 //                 per-factory building blocks (EnvFactory, LockstepGroup,
 //                 sweep, run_method) and reporting helpers
@@ -24,6 +26,7 @@
 // bit-identical at any thread count.
 #pragma once
 
-#include "api/registry.hpp"  // IWYU pragma: export
-#include "api/spec.hpp"      // IWYU pragma: export
-#include "api/task.hpp"      // IWYU pragma: export
+#include "api/checkpoints.hpp"  // IWYU pragma: export
+#include "api/registry.hpp"     // IWYU pragma: export
+#include "api/spec.hpp"         // IWYU pragma: export
+#include "api/task.hpp"         // IWYU pragma: export

@@ -1,0 +1,145 @@
+#include "api/checkpoints.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace gcnrl::api {
+namespace {
+
+const char* mode_str(env::IndexMode mode) {
+  return mode == env::IndexMode::OneHot ? "one_hot" : "scalar";
+}
+
+env::IndexMode mode_from_str(const std::string& s, const std::string& origin) {
+  if (s == "one_hot") return env::IndexMode::OneHot;
+  if (s == "scalar") return env::IndexMode::Scalar;
+  throw std::runtime_error("checkpoint " + origin +
+                           ": unknown index_mode \"" + s + "\"");
+}
+
+// Same character policy as gcnrl_cli's CSV paths: keep [A-Za-z0-9-.],
+// replace the rest, so any artifact name maps to a portable filename.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!keep) c = '_';
+  }
+  return out;
+}
+
+void check_stamp(const std::string& name, const CheckpointStamp& stored,
+                 const CheckpointStamp& expect) {
+  if (stored.mode != expect.mode) {
+    throw std::runtime_error(
+        "checkpoint \"" + name + "\": index mode mismatch (stored " +
+        mode_str(stored.mode) + ", requested " + mode_str(expect.mode) +
+        "); state layouts differ between modes, refusing to load");
+  }
+  if (expect.mode == env::IndexMode::OneHot &&
+      stored.circuit != expect.circuit) {
+    throw std::runtime_error(
+        "checkpoint \"" + name + "\": trained on circuit \"" +
+        stored.circuit + "\" but requested for \"" + expect.circuit +
+        "\"; one-hot state encodings are topology-specific — use "
+        "index_mode scalar for cross-topology transfer");
+  }
+  // Node is deliberately unchecked: cross-node transfer (Table IV) is the
+  // protocol this store exists for.
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string CheckpointStore::path_of(const std::string& name) const {
+  if (dir_.empty()) return {};
+  return (std::filesystem::path(dir_) / (sanitize(name) + ".gcr")).string();
+}
+
+void CheckpointStore::put(const std::string& name,
+                          const std::vector<nn::Parameter*>& params,
+                          const CheckpointStamp& stamp) {
+  if (name.empty()) {
+    throw std::runtime_error("checkpoint: artifact name must be non-empty");
+  }
+  Entry entry{stamp, nn::snapshot_parameters(params)};
+  if (!dir_.empty()) {
+    std::filesystem::create_directories(dir_);
+    const nn::MetaList meta = {{"circuit", stamp.circuit},
+                               {"node", stamp.node},
+                               {"index_mode", mode_str(stamp.mode)}};
+    nn::save_tensors(path_of(name), entry.tensors, meta);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_.insert_or_assign(name, std::move(entry));
+}
+
+bool CheckpointStore::contains(const std::string& name) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (mem_.count(name) > 0) return true;
+  }
+  return !dir_.empty() && std::filesystem::exists(path_of(name));
+}
+
+int CheckpointStore::load(const std::string& name,
+                          const std::vector<nn::Parameter*>& dst,
+                          const CheckpointStamp& expect) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = mem_.find(name);
+    if (it != mem_.end()) {
+      check_stamp(name, it->second.stamp, expect);
+      return nn::assign_tensors(it->second.tensors, dst, /*strict=*/true,
+                                "checkpoint \"" + name + "\"");
+    }
+  }
+  const std::string path = path_of(name);
+  if (path.empty() || !std::filesystem::exists(path)) {
+    std::string known;
+    for (const std::string& n : names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::runtime_error(
+        "checkpoint \"" + name + "\" not found" +
+        (dir_.empty() ? std::string(" (no disk tier configured)")
+                      : " in memory or " + dir_) +
+        "; store contains: " + (known.empty() ? "nothing" : known));
+  }
+  const nn::TensorFile file = nn::load_tensors(path);
+  CheckpointStamp stored;
+  for (const auto& [key, value] : file.meta) {
+    if (key == "circuit") stored.circuit = value;
+    if (key == "node") stored.node = value;
+    if (key == "index_mode") stored.mode = mode_from_str(value, path);
+  }
+  check_stamp(name, stored, expect);
+  return nn::assign_tensors(file.tensors, dst, /*strict=*/true, path);
+}
+
+std::vector<std::string> CheckpointStore::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(mem_.size());
+  for (const auto& [name, entry] : mem_) out.push_back(name);
+  return out;
+}
+
+void CheckpointStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_.clear();
+}
+
+CheckpointStore& default_checkpoint_store() {
+  static CheckpointStore store = [] {
+    const char* dir = std::getenv("GCNRL_CHECKPOINT_DIR");
+    return CheckpointStore(dir != nullptr ? dir : "");
+  }();
+  return store;
+}
+
+}  // namespace gcnrl::api

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/checkpoints.hpp"
 #include "circuit/tech.hpp"
 #include "common/table.hpp"
 #include "la/stats.hpp"
@@ -95,6 +96,16 @@ rl::RunResult run_anchor(env::SizingEnv& env) {
   return out;
 }
 
+// The per-seed RNG seed of a task: the custom ladder when the spec sets
+// one (the migrated transfer harnesses' historical seeds), else the
+// canonical seed_of(s).
+std::uint64_t task_seed(const TaskSpec& t, int s) {
+  if (t.seed_base) {
+    return *t.seed_base + t.seed_stride * static_cast<std::uint64_t>(s);
+  }
+  return seed_of(s);
+}
+
 // One planned task: spec + resolved method/factory/budgets + where its
 // per-seed results go.
 struct TaskPlan {
@@ -102,6 +113,13 @@ struct TaskPlan {
   const MethodInfo* mi = nullptr;
   const EnvFactory* factory = nullptr;
   std::vector<long> budgets;  // per-seed sim caps; empty = uncapped
+  // Warm-start hook (DDPG kind): runs on each freshly built agent before
+  // the group starts — copies a pretrain source's weights or loads a
+  // checkpoint. Null for from-scratch tasks.
+  std::function<void(int, rl::DdpgAgent&)> warm;
+  // When non-null, the task's trained agents are moved here after the run
+  // (pretrain sources for later levels, checkpoint saves).
+  std::vector<std::unique_ptr<rl::DdpgAgent>>* keep = nullptr;
   std::vector<rl::RunResult>* out = nullptr;
 };
 
@@ -129,6 +147,9 @@ void run_group(std::vector<TaskPlan>& plans,
     TaskPlan& plan = plans[p];
     const TaskSpec& t = *plan.spec;
     plan.out->resize(static_cast<std::size_t>(t.seeds));
+    if (plan.keep != nullptr) {
+      plan.keep->resize(static_cast<std::size_t>(t.seeds));
+    }
     switch (plan.mi->kind) {
       case MethodKind::Ddpg:
         for (int s = 0; s < t.seeds; ++s) {
@@ -138,7 +159,8 @@ void run_group(std::vector<TaskPlan>& plans,
           cfg.warmup = t.warmup;
           rl_agents.push_back(std::make_unique<rl::DdpgAgent>(
               rl_envs.back()->state(), rl_envs.back()->adjacency(),
-              rl_envs.back()->kinds(), cfg, Rng(seed_of(s))));
+              rl_envs.back()->kinds(), cfg, Rng(task_seed(t, s))));
+          if (plan.warm) plan.warm(s, *rl_agents.back());
           rl_steps.push_back(t.steps);
           rl_slots.emplace_back(p, s);
         }
@@ -147,7 +169,7 @@ void run_group(std::vector<TaskPlan>& plans,
         for (int s = 0; s < t.seeds; ++s) {
           bb_envs.push_back(plan.factory->make(svc));
           bb_opts.push_back(plan.mi->make_optimizer(
-              bb_envs.back()->flat_dim(), Rng(seed_of(s))));
+              bb_envs.back()->flat_dim(), Rng(task_seed(t, s))));
           const long max_sims =
               plan.budgets.empty() ? -1
                                    : plan.budgets[static_cast<std::size_t>(s)];
@@ -161,7 +183,7 @@ void run_group(std::vector<TaskPlan>& plans,
         for (int s = 0; s < t.seeds; ++s) {
           auto env = plan.factory->make(svc);
           (*plan.out)[static_cast<std::size_t>(s)] =
-              rl::run_random(*env, t.steps, Rng(seed_of(s)));
+              rl::run_random(*env, t.steps, Rng(task_seed(t, s)));
         }
         break;
       case MethodKind::Anchor:
@@ -187,6 +209,12 @@ void run_group(std::vector<TaskPlan>& plans,
     for (std::size_t i = 0; i < merged.size(); ++i) {
       const auto [p, s] = rl_slots[i];
       (*plans[p].out)[static_cast<std::size_t>(s)] = std::move(merged[i]);
+      if (plans[p].keep != nullptr) {
+        // Agents are self-contained (the ctor copies state/adjacency), so
+        // retaining them outlives the group's envs safely.
+        (*plans[p].keep)[static_cast<std::size_t>(s)] =
+            std::move(rl_agents[i]);
+      }
     }
   }
   if (!bb_pairs.empty()) {
@@ -227,20 +255,178 @@ std::vector<TaskResult> run_tasks(const std::vector<TaskSpec>& tasks,
     }
     if (t.warmup < 0) t.warmup = 0;
     if (t.warmup >= t.steps) t.warmup = t.steps / 3;
-    if (t.label.empty()) t.label = t.method + "/" + t.circuit + "@" + t.node;
+    if (!t.pretrain_from.empty() && !t.load_checkpoint.empty()) {
+      throw std::invalid_argument(
+          "run_tasks: task \"" + t.method + "/" + t.circuit +
+          "\": pretrain_from and load_checkpoint are mutually exclusive "
+          "warm-start sources; choose one");
+    }
+    if ((!t.pretrain_from.empty() || !t.load_checkpoint.empty() ||
+         !t.save_checkpoint.empty()) &&
+        mi.kind != MethodKind::Ddpg) {
+      throw std::invalid_argument(
+          "run_tasks: task \"" + t.method + "/" + t.circuit +
+          "\": pretrain_from/load_checkpoint/save_checkpoint apply only to "
+          "DDPG-kind methods (they move actor/critic weights)");
+    }
+    if (t.seed_stride != 0 && !t.seed_base) {
+      throw std::invalid_argument("run_tasks: task \"" + t.method + "/" +
+                                  t.circuit +
+                                  "\": seed_stride needs seed_base");
+    }
+    if (t.label.empty()) {
+      t.label = t.method + "/" + t.circuit + "@" + t.node;
+      if (!t.pretrain_from.empty()) {
+        t.label += "<-" + t.pretrain_from;
+      } else if (!t.load_checkpoint.empty()) {
+        t.label += "<-ckpt:" + t.load_checkpoint;
+      }
+    }
+  }
+  // Duplicate save names would make load_checkpoint resolution (and the
+  // final store content) order-dependent; reject them outright.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      if (!specs[i].save_checkpoint.empty() &&
+          specs[i].save_checkpoint == specs[j].save_checkpoint) {
+        throw std::invalid_argument(
+            "run_tasks: tasks \"" + specs[i].label + "\" and \"" +
+            specs[j].label + "\" both save checkpoint \"" +
+            specs[i].save_checkpoint + "\"");
+      }
+    }
   }
 
   std::shared_ptr<env::EvalService> svc = opts.service;
   if (!svc) {
     svc = std::make_shared<env::EvalService>(env::eval_config_from_env());
   }
+  CheckpointStore& store = opts.checkpoints != nullptr
+                               ? *opts.checkpoints
+                               : default_checkpoint_store();
+  const auto mode_of = [&](const TaskSpec& t) {
+    return t.index_mode.value_or(opts.mode);
+  };
 
-  // --- calibrate: one factory per distinct (circuit, node), in first-
-  // appearance order, from one shared calibration RNG ----------------------
+  // --- resolve cross-task dependencies ------------------------------------
+  // pre_src: pretrain_from label -> source task index.
+  std::vector<int> pre_src(specs.size(), -1);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TaskSpec& t = specs[i];
+    if (t.pretrain_from.empty()) continue;
+    int found = -1;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      if (j == i || specs[j].label != t.pretrain_from) continue;
+      if (found >= 0) {
+        throw std::invalid_argument(
+            "run_tasks: task \"" + t.label + "\": pretrain_from \"" +
+            t.pretrain_from + "\" matches more than one task label");
+      }
+      found = static_cast<int>(j);
+    }
+    if (found < 0) {
+      std::string labels;
+      for (const TaskSpec& s : specs) {
+        labels += labels.empty() ? s.label : ", " + s.label;
+      }
+      throw std::invalid_argument(
+          "run_tasks: task \"" + t.label + "\": pretrain_from \"" +
+          t.pretrain_from + "\" names no task in this list; labels: " +
+          labels);
+    }
+    if (infos[static_cast<std::size_t>(found)]->kind != MethodKind::Ddpg) {
+      throw std::invalid_argument(
+          "run_tasks: task \"" + t.label + "\": pretrain source \"" +
+          specs[static_cast<std::size_t>(found)].label +
+          "\" is not a DDPG-kind task");
+    }
+    const int src_seeds = specs[static_cast<std::size_t>(found)].seeds;
+    if (src_seeds != 1 && src_seeds != t.seeds) {
+      throw std::invalid_argument(
+          "run_tasks: task \"" + t.label + "\" has " +
+          std::to_string(t.seeds) + " seeds but pretrain source \"" +
+          specs[static_cast<std::size_t>(found)].label + "\" has " +
+          std::to_string(src_seeds) +
+          " (a source needs 1 seed or a matching count)");
+    }
+    pre_src[i] = found;
+  }
+  // ckpt_src: load_checkpoint name -> in-list saver index (at most one per
+  // the duplicate check above); -1 = the artifact must already exist in
+  // the store when the task starts.
+  std::vector<int> ckpt_src(specs.size(), -1);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].load_checkpoint.empty()) continue;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      if (j != i && specs[j].save_checkpoint == specs[i].load_checkpoint) {
+        ckpt_src[i] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  // budget_src: the budget-chain rule (BO/MACE -> ES). Absent source =
+  // uncapped (mirrors sweep_chained with an empty budget vector).
+  const auto chained = [&](std::size_t i) {
+    return !infos[i]->budget_from.empty() && specs[i].sim_budget == 0;
+  };
+  std::vector<int> budget_src(specs.size(), -1);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!chained(i)) continue;
+    const TaskSpec& t = specs[i];
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      if (j == i || specs[j].method != infos[i]->budget_from) continue;
+      if (specs[j].circuit != t.circuit || specs[j].node != t.node ||
+          specs[j].steps != t.steps || specs[j].seeds != t.seeds) {
+        continue;
+      }
+      if (chained(j)) {
+        throw std::invalid_argument(
+            "run_tasks: budget source \"" + specs[j].label +
+            "\" is itself budget-chained; only one chain level is "
+            "supported");
+      }
+      budget_src[i] = static_cast<int>(j);
+      break;
+    }
+  }
+
+  // --- dependency levels: sources run in earlier levels than consumers;
+  // everything within a level merges into one lockstep group ---------------
+  std::vector<int> level(specs.size(), -1);
+  std::vector<char> visiting(specs.size(), 0);
+  const std::function<int(std::size_t)> level_of = [&](std::size_t i) -> int {
+    if (level[i] >= 0) return level[i];
+    if (visiting[i] != 0) {
+      throw std::invalid_argument(
+          "run_tasks: dependency cycle involving task \"" + specs[i].label +
+          "\"");
+    }
+    visiting[i] = 1;
+    int l = 0;
+    for (const int d : {pre_src[i], ckpt_src[i], budget_src[i]}) {
+      if (d >= 0) {
+        l = std::max(l, level_of(static_cast<std::size_t>(d)) + 1);
+      }
+    }
+    visiting[i] = 0;
+    return level[i] = l;
+  };
+  int max_level = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    max_level = std::max(max_level, level_of(i));
+  }
+
+  // --- calibrate: one factory per distinct (circuit, node, mode,
+  // calib_group), in first-appearance order, from one shared RNG -----------
   Rng calib_rng(opts.calib_seed);
   std::vector<std::pair<std::string, std::unique_ptr<EnvFactory>>> factories;
+  const auto factory_key = [&](const TaskSpec& t) {
+    return t.circuit + "\n" + t.node + "\n" +
+           (mode_of(t) == env::IndexMode::OneHot ? "one_hot" : "scalar") +
+           "\n" + t.calib_group;
+  };
   const auto factory_of = [&](const TaskSpec& t) -> const EnvFactory* {
-    const std::string key = t.circuit + "\n" + t.node;
+    const std::string key = factory_key(t);
     for (const auto& [k, f] : factories) {
       if (k == key) return f.get();
     }
@@ -249,66 +435,75 @@ std::vector<TaskResult> run_tasks(const std::vector<TaskSpec>& tasks,
   for (const TaskSpec& t : specs) {
     if (factory_of(t) != nullptr) continue;
     factories.emplace_back(
-        t.circuit + "\n" + t.node,
+        factory_key(t),
         std::make_unique<EnvFactory>(t.circuit,
                                      circuit::make_technology(t.node),
-                                     opts.mode, opts.calib_samples, calib_rng,
-                                     svc));
+                                     mode_of(t), opts.calib_samples,
+                                     calib_rng, svc));
   }
 
-  // --- plan: stage 1 = budget sources + unchained tasks, stage 2 = tasks
-  // consuming another task's simulated cost --------------------------------
+  // --- execute level by level ---------------------------------------------
   std::vector<std::vector<rl::RunResult>> runs(specs.size());
-  const auto chained = [&](std::size_t i) {
-    return !infos[i]->budget_from.empty() && specs[i].sim_budget == 0;
-  };
-  std::vector<TaskPlan> stage1;
-  std::vector<std::size_t> stage2;
+  // Trained agents retained across levels (pretrain sources + checkpoint
+  // saves); agents are self-contained, so no env outlives its group.
+  std::vector<std::vector<std::unique_ptr<rl::DdpgAgent>>> kept(specs.size());
+  std::vector<char> keep_needed(specs.size(), 0);
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (chained(i)) {
-      stage2.push_back(i);
-      continue;
-    }
-    std::vector<long> budgets;
-    if (specs[i].sim_budget > 0) {
-      budgets.assign(static_cast<std::size_t>(specs[i].seeds),
-                     specs[i].sim_budget);
-    }
-    stage1.push_back(
-        {&specs[i], infos[i], factory_of(specs[i]), std::move(budgets),
-         &runs[i]});
+    if (pre_src[i] >= 0) keep_needed[static_cast<std::size_t>(pre_src[i])] = 1;
+    if (!specs[i].save_checkpoint.empty()) keep_needed[i] = 1;
   }
-  run_group(stage1, svc);
-
-  if (!stage2.empty()) {
+  for (int lev = 0; lev <= max_level; ++lev) {
     std::vector<TaskPlan> plans;
-    for (const std::size_t i : stage2) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (level[i] != lev) continue;
+      members.push_back(i);
       const TaskSpec& t = specs[i];
-      // The budget source: first task running the budget_from method on the
-      // same circuit/node with the same steps and seeds. Absent source =
-      // uncapped (mirrors sweep_chained with an empty budget vector).
-      std::vector<long> budgets;
-      for (std::size_t j = 0; j < specs.size(); ++j) {
-        if (j == i || specs[j].method != infos[i]->budget_from) continue;
-        if (specs[j].circuit != t.circuit || specs[j].node != t.node ||
-            specs[j].steps != t.steps || specs[j].seeds != t.seeds) {
-          continue;
-        }
-        if (chained(j)) {
-          throw std::invalid_argument(
-              "run_tasks: budget source \"" + specs[j].label +
-              "\" is itself budget-chained; only one chain level is "
-              "supported");
-        }
-        budgets.reserve(runs[j].size());
-        for (const rl::RunResult& r : runs[j]) budgets.push_back(r.sims);
-        break;
+      TaskPlan plan;
+      plan.spec = &t;
+      plan.mi = infos[i];
+      plan.factory = factory_of(t);
+      plan.out = &runs[i];
+      if (keep_needed[i] != 0) plan.keep = &kept[i];
+      if (t.sim_budget > 0) {
+        plan.budgets.assign(static_cast<std::size_t>(t.seeds), t.sim_budget);
+      } else if (budget_src[i] >= 0) {
+        const auto& src = runs[static_cast<std::size_t>(budget_src[i])];
+        plan.budgets.reserve(src.size());
+        for (const rl::RunResult& r : src) plan.budgets.push_back(r.sims);
       }
-      plans.push_back(
-          {&specs[i], infos[i], factory_of(specs[i]), std::move(budgets),
-           &runs[i]});
+      if (pre_src[i] >= 0) {
+        const auto& src_agents = kept[static_cast<std::size_t>(pre_src[i])];
+        const int src_seeds =
+            specs[static_cast<std::size_t>(pre_src[i])].seeds;
+        plan.warm = [&src_agents, src_seeds](int s, rl::DdpgAgent& agent) {
+          agent.copy_weights_from(
+              *src_agents[static_cast<std::size_t>(src_seeds == 1 ? 0 : s)]);
+        };
+      } else if (!t.load_checkpoint.empty()) {
+        const CheckpointStamp expect{t.circuit, t.node, mode_of(t)};
+        const std::string name = t.load_checkpoint;
+        plan.warm = [&store, expect, name](int s, rl::DdpgAgent& agent) {
+          const std::string per_seed = name + "#" + std::to_string(s);
+          store.load(store.contains(per_seed) ? per_seed : name,
+                     agent.parameters(), expect);
+        };
+      }
+      plans.push_back(std::move(plan));
     }
     run_group(plans, svc);
+    for (const std::size_t i : members) {
+      const TaskSpec& t = specs[i];
+      if (t.save_checkpoint.empty()) continue;
+      const CheckpointStamp stamp{t.circuit, t.node, mode_of(t)};
+      for (int s = 0; s < t.seeds; ++s) {
+        const std::string name =
+            t.seeds == 1 ? t.save_checkpoint
+                         : t.save_checkpoint + "#" + std::to_string(s);
+        store.put(name,
+                  kept[i][static_cast<std::size_t>(s)]->parameters(), stamp);
+      }
+    }
   }
 
   // --- assemble -----------------------------------------------------------
@@ -385,8 +580,13 @@ SweepResult sweep(const std::string& method, const EnvFactory& factory,
   spec.ddpg = base_cfg;
   std::vector<rl::RunResult> results;
   std::vector<TaskPlan> plans;
-  plans.push_back({&spec, &method_info(method), &factory,
-                   {sim_budgets.begin(), sim_budgets.end()}, &results});
+  TaskPlan plan;
+  plan.spec = &spec;
+  plan.mi = &method_info(method);
+  plan.factory = &factory;
+  plan.budgets.assign(sim_budgets.begin(), sim_budgets.end());
+  plan.out = &results;
+  plans.push_back(std::move(plan));
   run_group(plans, svc);
 
   SweepResult out;

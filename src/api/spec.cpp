@@ -254,6 +254,13 @@ int as_int(const JsonValue& v, const std::string& key) {
   return static_cast<int>(l);
 }
 
+env::IndexMode as_mode(const JsonValue& v, const std::string& key) {
+  const std::string mode = as_string(v, key);
+  if (mode == "one_hot") return env::IndexMode::OneHot;
+  if (mode == "scalar") return env::IndexMode::Scalar;
+  schema_fail(v, "\"" + key + "\" must be \"one_hot\" or \"scalar\"");
+}
+
 TaskSpec bind_task(const JsonValue& v, std::size_t index) {
   const JsonObject& obj =
       as_object(v, "tasks[" + std::to_string(index) + "]");
@@ -278,10 +285,31 @@ TaskSpec bind_task(const JsonValue& v, std::size_t index) {
       t.sim_budget = as_integer(val, key);
     } else if (key == "label") {
       t.label = as_string(val, key);
+    } else if (key == "pretrain_from") {
+      t.pretrain_from = as_string(val, key);
+    } else if (key == "load_checkpoint") {
+      t.load_checkpoint = as_string(val, key);
+    } else if (key == "save_checkpoint") {
+      t.save_checkpoint = as_string(val, key);
+    } else if (key == "mode") {
+      t.index_mode = as_mode(val, key);
+    } else if (key == "calib_group") {
+      t.calib_group = as_string(val, key);
+    } else if (key == "seed_base") {
+      const long base = as_integer(val, key);
+      if (base < 0) schema_fail(val, "\"seed_base\" must be non-negative");
+      t.seed_base = static_cast<std::uint64_t>(base);
+    } else if (key == "seed_stride") {
+      const long stride = as_integer(val, key);
+      if (stride < 0) schema_fail(val, "\"seed_stride\" must be non-negative");
+      t.seed_stride = static_cast<std::uint64_t>(stride);
     } else {
       schema_fail(val, "unknown task key \"" + key +
                            "\" (known: circuit, method, node, steps, "
-                           "warmup, seeds, sim_budget, label)");
+                           "warmup, seeds, sim_budget, label, "
+                           "pretrain_from, load_checkpoint, "
+                           "save_checkpoint, mode, calib_group, seed_base, "
+                           "seed_stride)");
     }
   }
   if (!have_circuit) schema_fail(v, "task is missing required key \"circuit\"");
@@ -300,14 +328,7 @@ RunOptions bind_options(const JsonValue& v) {
       if (seed < 0) schema_fail(val, "\"calib_seed\" must be non-negative");
       opts.calib_seed = static_cast<std::uint64_t>(seed);
     } else if (key == "mode") {
-      const std::string mode = as_string(val, key);
-      if (mode == "one_hot") {
-        opts.mode = env::IndexMode::OneHot;
-      } else if (mode == "scalar") {
-        opts.mode = env::IndexMode::Scalar;
-      } else {
-        schema_fail(val, "\"mode\" must be \"one_hot\" or \"scalar\"");
-      }
+      opts.mode = as_mode(val, key);
     } else {
       schema_fail(val, "unknown options key \"" + key +
                            "\" (known: calib, calib_seed, mode)");

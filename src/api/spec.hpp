@@ -22,7 +22,24 @@
 //                                 //  >0 = explicit cap (ask/tell methods
 //                                 //       only; rejected elsewhere),
 //                                 //  <0 = force uncapped
-//       "label":    "my-run"      // display label (default method/circuit)
+//       "label":    "my-run",     // display label (default method/circuit)
+//
+//       // --- transfer protocol (DDPG-kind methods only) ---------------
+//       "pretrain_from":   "pre", // warm-start from the in-list task with
+//                                 // this label (planner orders it first)
+//       "load_checkpoint": "zoo", // warm-start from a CheckpointStore
+//                                 // artifact ("zoo#<seed>" preferred over
+//                                 // "zoo" per seed); exclusive with
+//                                 // pretrain_from
+//       "save_checkpoint": "zoo", // store trained weights under this name
+//                                 // (per-seed "zoo#<seed>" when seeds > 1)
+//       "mode": "scalar",         // per-task index-mode override
+//                                 // ("one_hot"|"scalar"; default:
+//                                 // options.mode)
+//       "calib_group": "dir2",    // calibration-sharing tag: a distinct
+//                                 // tag forces a fresh FoM calibration
+//       "seed_base":   900,       // per-seed RNG override: seed s uses
+//       "seed_stride": 31         // seed_base + seed_stride * s
 //     }
 //   ]
 // }
@@ -31,7 +48,10 @@
 // ignore a typo); so are wrong value types. Budget chains (BO/MACE
 // stopping at the matching ES seed's simulated cost) need no annotation:
 // api::run_tasks matches source tasks by (method, circuit, node, steps,
-// seeds) wherever they appear in the list.
+// seeds) wherever they appear in the list. Pretrain chains DO need one:
+// "pretrain_from" names the source task's label. The checkpoint store's
+// disk tier (GCNRL_CHECKPOINT_DIR) makes "load_checkpoint" work across
+// processes — see api/checkpoints.hpp.
 #pragma once
 
 #include <string>

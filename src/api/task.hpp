@@ -13,34 +13,48 @@
 // grouping, FoM values never depend on cache state, and all budgets are
 // simulated-cost counts (warmth-independent by construction).
 //
-// Simulated-cost budget chains (the paper's Table I rule) are resolved by
-// the planner: a task whose method declares `budget_from` (BO/MACE -> ES)
-// is held back until its source task — same circuit, node, steps, and
-// seeds, anywhere in the task list, in any order — has run, then uses
-// that task's per-seed RunResult::sims as its stopping budgets. A missing
-// source simply means no simulated-cost cap (matching bench::sweep_chained
-// with an empty budget vector); an explicit TaskSpec::sim_budget > 0
-// short-circuits the chain.
+// Cross-task dependencies are resolved by the planner, which orders tasks
+// into dependency levels (sources before consumers, independent tasks
+// merged into one lockstep level):
+//   budget chains    a task whose method declares `budget_from` (BO/MACE
+//                    -> ES) runs after its source task — same circuit,
+//                    node, steps, and seeds, anywhere in the list — and
+//                    uses that task's per-seed RunResult::sims as its
+//                    stopping budgets. A missing source means no cap
+//                    (matching sweep_chained with an empty budget vector);
+//                    an explicit TaskSpec::sim_budget > 0 short-circuits
+//                    the chain.
+//   pretrain chains  a task with `pretrain_from` (the paper's transfer
+//                    protocol, Tables IV/V) runs after the in-list task
+//                    with that label; the planner retains the source's
+//                    trained agents and seeds this task's fresh agents
+//                    from them via nn::copy_parameters.
+//   checkpoints      `load_checkpoint` warm-starts from a named
+//                    CheckpointStore artifact; an in-list task with the
+//                    matching `save_checkpoint` name is ordered first.
+// Dependency cycles are rejected.
 //
 // Calibration: FoM normalizers are calibrated once per distinct
-// (circuit, node) pair appearing in the task list, in first-appearance
-// order, drawing from a single Rng(RunOptions::calib_seed) — exactly the
-// protocol of the pre-existing table harnesses, so migrated harnesses
-// reproduce their numbers byte-for-byte. Corollary: task results are
-// invariant under any permutation of the task list that keeps the
-// first-appearance order of distinct (circuit, node) groups; reordering
-// the groups changes which calibration draws each circuit receives
-// (deterministically so — the same list always reproduces itself).
+// (circuit, node, index mode, calib_group) tuple appearing in the task
+// list, in first-appearance order, drawing from a single
+// Rng(RunOptions::calib_seed) — exactly the protocol of the pre-existing
+// table harnesses, so migrated harnesses reproduce their numbers
+// byte-for-byte. Corollary: task results are invariant under any
+// permutation of the task list that keeps the first-appearance order of
+// distinct calibration tuples; reordering the groups changes which
+// calibration draws each circuit receives (deterministically so — the
+// same list always reproduces itself).
 //
 // The lower-level pieces (EnvFactory, LockstepGroup, sweep, run_method)
-// stay public: the transfer harnesses (tables 4/5, figs 7/8) compose them
-// directly for protocols TaskSpec does not model (pretraining, weight
-// transfer across nodes/topologies).
+// stay public as the harness-composition layer; since the transfer
+// harnesses moved onto run_tasks they are exercised through the planner
+// itself.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,6 +64,8 @@
 #include "rl/run_loop.hpp"
 
 namespace gcnrl::api {
+
+class CheckpointStore;
 
 // A calibrated environment factory: builds fresh envs for a circuit while
 // sharing one FoM calibration (normalizers must be identical across
@@ -135,7 +151,40 @@ struct TaskSpec {
   // < 0 = force uncapped even for chained methods.
   long sim_budget = 0;
   rl::DdpgConfig ddpg;  // RL base config (method defaults + warmup applied)
-  std::string label;    // display label; empty -> "<method>/<circuit>"
+  // Display label; empty -> "<method>/<circuit>@<node>", plus a
+  // "<-<source>" suffix for warm-started tasks (so pretrain and transfer
+  // rows never collide by default).
+  std::string label;
+
+  // --- transfer protocol (DDPG-kind methods only) -------------------------
+  // Warm-start source: the label of another task in this list. The planner
+  // runs that task first, retains its trained agents, and copies their
+  // weights into this task's fresh agents (a 1-seed source warms every
+  // seed; otherwise seed counts must match). Mutually exclusive with
+  // load_checkpoint.
+  std::string pretrain_from;
+  // Warm-start from a named CheckpointStore artifact: per seed s the store
+  // is probed for "<name>#<s>" first, then "<name>". An in-list task whose
+  // save_checkpoint matches is automatically ordered before this task.
+  std::string load_checkpoint;
+  // After training, store this task's agent weights under this name
+  // (per-seed "<name>#<s>" when seeds > 1), stamped with circuit, node,
+  // and index mode. Duplicate save names within one list are rejected.
+  std::string save_checkpoint;
+  // Per-task state-index override (topology transfer needs Scalar so the
+  // state dimension is topology-independent); unset -> RunOptions::mode.
+  std::optional<env::IndexMode> index_mode;
+  // Calibration-sharing tag: tasks share a calibrated factory per distinct
+  // (circuit, node, mode, calib_group). A distinct tag forces a fresh
+  // calibration with its own draws from the shared calibration RNG (the
+  // topology-transfer harnesses recalibrate per direction this way).
+  std::string calib_group;
+  // Per-seed RNG override: seed s uses seed_base + seed_stride * s when
+  // seed_base is set (the migrated harnesses' historical seed ladders);
+  // unset -> canonical seed_of(s). seed_stride without seed_base is
+  // rejected.
+  std::optional<std::uint64_t> seed_base;
+  std::uint64_t seed_stride = 0;
 };
 
 // Per-task outcome: the full per-seed RunResults plus the aggregate the
@@ -157,6 +206,9 @@ struct RunOptions {
   int calib_samples = 300;          // FoM calibration samples per circuit
   std::uint64_t calib_seed = 2024;  // shared calibration RNG seed
   env::IndexMode mode = env::IndexMode::OneHot;
+  // Store backing TaskSpec::load/save_checkpoint; null -> the process-wide
+  // default_checkpoint_store() (disk tier from GCNRL_CHECKPOINT_DIR).
+  CheckpointStore* checkpoints = nullptr;
 };
 
 // Validates, calibrates, plans, and runs `tasks`; results come back in

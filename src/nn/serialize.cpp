@@ -1,7 +1,9 @@
 #include "nn/serialize.hpp"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -24,78 +26,205 @@ void write_u32(std::FILE* f, std::uint32_t v) {
   }
 }
 
-std::uint32_t read_u32(std::FILE* f) {
-  std::uint32_t v = 0;
-  if (std::fread(&v, sizeof(v), 1, f) != 1) {
-    throw std::runtime_error("serialize: truncated file");
+void write_string(std::FILE* f, const std::string& s) {
+  write_u32(f, static_cast<std::uint32_t>(s.size()));
+  if (!s.empty() && std::fwrite(s.data(), 1, s.size(), f) != s.size()) {
+    throw std::runtime_error("serialize: write failed");
   }
-  return v;
+}
+
+// Bounded reader: every read is checked against the bytes actually left in
+// the file, so no length field can request an allocation the file could
+// not possibly back.
+class BoundedReader {
+ public:
+  BoundedReader(std::FILE* f, const std::string& path) : f_(f), path_(path) {
+    if (std::fseek(f_, 0, SEEK_END) != 0) fail("cannot seek");
+    const long size = std::ftell(f_);
+    if (size < 0) fail("cannot determine file size");
+    remaining_ = static_cast<std::uint64_t>(size);
+    if (std::fseek(f_, 0, SEEK_SET) != 0) fail("cannot seek");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("load_tensors: " + what + " in " + path_);
+  }
+
+  [[nodiscard]] std::uint64_t remaining() const { return remaining_; }
+
+  std::uint32_t u32(const char* field) {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v), field);
+    return v;
+  }
+
+  std::string str(const char* field) {
+    const std::uint32_t len = u32(field);
+    if (len > remaining_) {
+      fail(std::string(field) + " length " + std::to_string(len) +
+           " exceeds the " + std::to_string(remaining_) +
+           " bytes remaining (corrupt or truncated file)");
+    }
+    std::string out(len, '\0');
+    if (len > 0) raw(out.data(), len, field);
+    return out;
+  }
+
+  void raw(void* dst, std::size_t n, const char* field) {
+    if (n > remaining_ || std::fread(dst, 1, n, f_) != n) {
+      fail(std::string("truncated file reading ") + field);
+    }
+    remaining_ -= n;
+  }
+
+ private:
+  std::FILE* f_;
+  const std::string& path_;
+  std::uint64_t remaining_ = 0;
+};
+
+std::string shape_of(const la::Mat& m) {
+  return std::to_string(m.rows()) + "x" + std::to_string(m.cols());
+}
+
+// "name 3x4, name2 1x8, ..." — the diagnostic inventory strict failures
+// print (mirrors the unknown-name diagnostics of the registries).
+std::string inventory(const std::vector<NamedTensor>& tensors) {
+  if (tensors.empty()) return "nothing";
+  std::string out;
+  for (const NamedTensor& t : tensors) {
+    if (!out.empty()) out += ", ";
+    out += t.name + " " + shape_of(t.value);
+  }
+  return out;
 }
 
 }  // namespace
 
-void save_parameters(const std::string& path,
-                     const std::vector<Parameter*>& params) {
+std::vector<NamedTensor> snapshot_parameters(
+    const std::vector<Parameter*>& params) {
+  std::vector<NamedTensor> out;
+  out.reserve(params.size());
+  for (const Parameter* p : params) out.push_back({p->name, p->value});
+  return out;
+}
+
+void save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors,
+                  const MetaList& meta) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) throw std::runtime_error("save_parameters: cannot open " + path);
+  if (!f) {
+    throw std::runtime_error("save_tensors: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
   write_u32(f.get(), kMagic);
-  write_u32(f.get(), static_cast<std::uint32_t>(params.size()));
-  for (const Parameter* p : params) {
-    write_u32(f.get(), static_cast<std::uint32_t>(p->name.size()));
-    if (std::fwrite(p->name.data(), 1, p->name.size(), f.get()) !=
-        p->name.size()) {
-      throw std::runtime_error("serialize: write failed");
-    }
-    write_u32(f.get(), static_cast<std::uint32_t>(p->value.rows()));
-    write_u32(f.get(), static_cast<std::uint32_t>(p->value.cols()));
-    const std::size_t n = p->value.size();
+  write_u32(f.get(), kFormatVersion);
+  write_u32(f.get(), static_cast<std::uint32_t>(meta.size()));
+  for (const auto& [key, value] : meta) {
+    write_string(f.get(), key);
+    write_string(f.get(), value);
+  }
+  write_u32(f.get(), static_cast<std::uint32_t>(tensors.size()));
+  for (const NamedTensor& t : tensors) {
+    write_string(f.get(), t.name);
+    write_u32(f.get(), static_cast<std::uint32_t>(t.value.rows()));
+    write_u32(f.get(), static_cast<std::uint32_t>(t.value.cols()));
+    const std::size_t n = t.value.size();
     if (n > 0 &&
-        std::fwrite(p->value.data(), sizeof(double), n, f.get()) != n) {
+        std::fwrite(t.value.data(), sizeof(double), n, f.get()) != n) {
       throw std::runtime_error("serialize: write failed");
     }
   }
 }
 
-int load_parameters(const std::string& path,
-                    const std::vector<Parameter*>& params, bool strict) {
+TensorFile load_tensors(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) throw std::runtime_error("load_parameters: cannot open " + path);
-  if (read_u32(f.get()) != kMagic) {
-    throw std::runtime_error("load_parameters: bad magic in " + path);
+  if (!f) {
+    throw std::runtime_error("load_tensors: cannot open " + path + ": " +
+                             std::strerror(errno));
   }
-  const std::uint32_t count = read_u32(f.get());
+  BoundedReader r(f.get(), path);
+  if (r.u32("magic") != kMagic) r.fail("bad magic");
+  const std::uint32_t version = r.u32("format version");
+  if (version != kFormatVersion) {
+    r.fail("unsupported format version " + std::to_string(version) +
+           " (expected " + std::to_string(kFormatVersion) +
+           "; files written before the version field are not readable)");
+  }
 
-  std::map<std::string, la::Mat> stored;
+  TensorFile out;
+  const std::uint32_t meta_count = r.u32("meta count");
+  // A meta entry costs at least its two length fields.
+  if (meta_count > r.remaining() / (2 * sizeof(std::uint32_t))) {
+    r.fail("meta count " + std::to_string(meta_count) +
+           " exceeds what the file size allows");
+  }
+  for (std::uint32_t i = 0; i < meta_count; ++i) {
+    std::string key = r.str("meta key");
+    std::string value = r.str("meta value");
+    out.meta.emplace_back(std::move(key), std::move(value));
+  }
+
+  const std::uint32_t count = r.u32("tensor count");
+  // A tensor record costs at least name_len + rows + cols.
+  if (count > r.remaining() / (3 * sizeof(std::uint32_t))) {
+    r.fail("tensor count " + std::to_string(count) +
+           " exceeds what the file size allows");
+  }
+  out.tensors.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t name_len = read_u32(f.get());
-    std::string name(name_len, '\0');
-    if (name_len > 0 &&
-        std::fread(name.data(), 1, name_len, f.get()) != name_len) {
-      throw std::runtime_error("serialize: truncated file");
+    std::string name = r.str("tensor name");
+    const std::uint32_t rows = r.u32("rows");
+    const std::uint32_t cols = r.u32("cols");
+    const std::uint64_t n =
+        static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+    // The element payload must fit in the remaining bytes BEFORE the
+    // matrix is allocated — this is the check that defuses a flipped size
+    // byte turning into a multi-GB allocation.
+    if (n > r.remaining() / sizeof(double)) {
+      r.fail("tensor \"" + name + "\" claims " + std::to_string(rows) + "x" +
+             std::to_string(cols) + " = " + std::to_string(n) +
+             " doubles but only " + std::to_string(r.remaining()) +
+             " bytes remain (corrupt or truncated file)");
     }
-    const int rows = static_cast<int>(read_u32(f.get()));
-    const int cols = static_cast<int>(read_u32(f.get()));
-    la::Mat m(rows, cols);
-    const std::size_t n = m.size();
-    if (n > 0 && std::fread(m.data(), sizeof(double), n, f.get()) != n) {
-      throw std::runtime_error("serialize: truncated file");
-    }
-    stored.emplace(std::move(name), std::move(m));
+    la::Mat m(static_cast<int>(rows), static_cast<int>(cols));
+    if (n > 0) r.raw(m.data(), n * sizeof(double), "tensor data");
+    out.tensors.push_back({std::move(name), std::move(m)});
   }
+  return out;
+}
 
+int assign_tensors(const std::vector<NamedTensor>& src,
+                   const std::vector<Parameter*>& dst, bool strict,
+                   const std::string& origin) {
+  std::map<std::string, const la::Mat*> by_name;
+  for (const NamedTensor& t : src) by_name.emplace(t.name, &t.value);
   int copied = 0;
-  for (Parameter* p : params) {
-    auto it = stored.find(p->name);
-    if (it == stored.end() || !it->second.same_shape(p->value)) {
+  for (Parameter* p : dst) {
+    const auto it = by_name.find(p->name);
+    if (it == by_name.end() || !it->second->same_shape(p->value)) {
       if (strict) {
-        throw std::runtime_error("load_parameters: no match for " + p->name);
+        throw std::runtime_error(
+            "load_parameters: no match for " + p->name + " (" +
+            shape_of(p->value) + ") in " + origin +
+            "; source contains: " + inventory(src));
       }
       continue;
     }
-    p->value = it->second;
+    p->value = *it->second;
     ++copied;
   }
   return copied;
+}
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  save_tensors(path, snapshot_parameters(params));
+}
+
+int load_parameters(const std::string& path,
+                    const std::vector<Parameter*>& params, bool strict) {
+  return assign_tensors(load_tensors(path).tensors, params, strict, path);
 }
 
 int copy_parameters(const std::vector<Parameter*>& src,

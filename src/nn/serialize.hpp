@@ -1,18 +1,80 @@
-// Named-parameter (de)serialization.
+// Named-tensor (de)serialization.
 //
 // This is the knowledge-transfer mechanism of the paper: an agent trained
 // on one technology node (or, in scalar-index state mode, one topology) is
 // saved and its actor/critic weights are loaded into a fresh agent for the
-// target node/topology. Format is a simple self-describing binary blob
-// (magic, count, then name/shape/data records).
+// target node/topology. The checkpoint store (api/checkpoints.hpp) builds
+// its disk tier on the same format.
+//
+// Format (version 2, self-describing binary):
+//   u32 magic "GCR1"
+//   u32 format version (kFormatVersion)
+//   u32 meta count,   then per entry: key_len/key, value_len/value
+//   u32 tensor count, then per record: name_len/name, rows, cols, doubles
+// Every count and length is sanity-checked against the bytes actually
+// remaining in the file before anything is allocated, so a truncated or
+// bit-flipped checkpoint fails with a diagnostic instead of driving
+// multi-GB allocations from attacker-chosen sizes. Files written before
+// the version field existed are rejected with an explicit message.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/module.hpp"
 
 namespace gcnrl::nn {
+
+// The on-disk format version written by save_tensors. Readers reject any
+// other value (there is exactly one live version at a time; bump this when
+// the layout changes).
+inline constexpr std::uint32_t kFormatVersion = 2;
+
+// One named weight matrix, detached from any Module (the unit of the
+// checkpoint store's in-memory tier).
+struct NamedTensor {
+  std::string name;
+  la::Mat value;
+};
+
+// Free-form string metadata stamped into a file (insertion order is
+// preserved on disk and on load).
+using MetaList = std::vector<std::pair<std::string, std::string>>;
+
+// A fully parsed weight file.
+struct TensorFile {
+  MetaList meta;
+  std::vector<NamedTensor> tensors;
+};
+
+// Detach a parameter list into named tensors (deep copies).
+std::vector<NamedTensor> snapshot_parameters(
+    const std::vector<Parameter*>& params);
+
+// Writes tensors (+ metadata) in the versioned format above. Throws
+// std::runtime_error on I/O failure.
+void save_tensors(const std::string& path,
+                  const std::vector<NamedTensor>& tensors,
+                  const MetaList& meta = {});
+
+// Reads a whole file back, validating magic, version, and every size
+// field against the remaining file length. Throws std::runtime_error with
+// the offending field on corrupt/truncated/foreign files.
+TensorFile load_tensors(const std::string& path);
+
+// Copies every tensor whose name matches a destination parameter AND has
+// the same shape; returns the number copied. `strict` additionally
+// requires that every destination parameter is matched — the failure
+// message lists the unmatched destination (with its shape) next to the
+// names and shapes the source actually contains, so a mismatched transfer
+// is diagnosable from the exception alone. `origin` names the source in
+// diagnostics (a path, or "<memory>" for in-process transfers).
+int assign_tensors(const std::vector<NamedTensor>& src,
+                   const std::vector<Parameter*>& dst, bool strict,
+                   const std::string& origin);
+
+// --- parameter-list convenience wrappers -----------------------------------
 
 void save_parameters(const std::string& path,
                      const std::vector<Parameter*>& params);
@@ -20,7 +82,7 @@ void save_parameters(const std::string& path,
 // Loads by name. Every stored parameter whose name matches a destination
 // parameter AND has the same shape is copied; returns the number copied.
 // `strict` additionally requires that every destination parameter is
-// matched (throws otherwise).
+// matched (throws, listing the file's contents, otherwise).
 int load_parameters(const std::string& path,
                     const std::vector<Parameter*>& params,
                     bool strict = true);

@@ -5,6 +5,9 @@
 // circuits end to end), and the task-spec file parser.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -12,11 +15,14 @@
 
 #include "api/api.hpp"
 #include "circuit/tech.hpp"
+#include "nn/linear.hpp"
 #include "sim/simulator.hpp"
 
 namespace api = gcnrl::api;
 namespace env = gcnrl::env;
 namespace circuit = gcnrl::circuit;
+namespace nn = gcnrl::nn;
+namespace rl = gcnrl::rl;
 using gcnrl::Rng;
 
 namespace {
@@ -383,6 +389,285 @@ TEST(RunTasks, CustomAskTellMethodRunsThroughPlanner) {
 }
 
 // ---------------------------------------------------------------------------
+// Transfer: pretrain chains + checkpoints
+// ---------------------------------------------------------------------------
+
+// A planner-resolved pretrain chain is bit-identical to the hand-wired
+// protocol the transfer harnesses used before run_tasks: pretrain via one
+// LockstepGroup, then copy_from into fine-tune agents on the historical
+// seed ladder.
+TEST(RunTasks, PretrainChainMatchesHandWiredTransfer) {
+  api::TaskSpec pre = synthetic_task("GCN-RL", 8, 1);
+  pre.warmup = 2;
+  pre.label = "pre";
+  pre.seed_base = 500;
+  api::TaskSpec xfer = synthetic_task("GCN-RL", 6, 2);
+  xfer.warmup = 2;
+  xfer.pretrain_from = "pre";
+  xfer.seed_base = 900;
+  xfer.seed_stride = 31;
+  const auto planned = api::run_tasks({pre, xfer}, tiny_options());
+
+  const auto opts = tiny_options();
+  Rng calib_rng(opts.calib_seed);
+  const api::EnvFactory factory("Synthetic-API",
+                                circuit::make_technology("180nm"),
+                                env::IndexMode::OneHot, opts.calib_samples,
+                                calib_rng, opts.service);
+  rl::DdpgConfig pre_cfg;
+  pre_cfg.warmup = 2;
+  std::vector<api::LockstepSpec> pre_specs;
+  pre_specs.push_back({pre_cfg, Rng(500), nullptr, {}});
+  api::LockstepGroup pre_group(factory, std::move(pre_specs));
+  const auto pre_runs = pre_group.run(8);
+
+  rl::DdpgConfig ft_cfg;
+  ft_cfg.warmup = 2;
+  std::vector<api::LockstepSpec> ft_specs;
+  for (int s = 0; s < 2; ++s) {
+    ft_specs.push_back(
+        {ft_cfg, Rng(900 + 31 * static_cast<std::uint64_t>(s)),
+         &pre_group.agent(0), {}});
+  }
+  api::LockstepGroup ft_group(factory, std::move(ft_specs));
+  const auto ft_runs = ft_group.run(6);
+
+  EXPECT_EQ(planned[0].runs[0].best_trace, pre_runs[0].best_trace);
+  ASSERT_EQ(planned[1].runs.size(), 2u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(planned[1].runs[s].best_fom, ft_runs[s].best_fom);
+    EXPECT_EQ(planned[1].runs[s].best_trace, ft_runs[s].best_trace);
+    EXPECT_EQ(planned[1].runs[s].sims, ft_runs[s].sims);
+  }
+}
+
+// save() -> load() into a freshly initialized agent is a bitwise round
+// trip: every parameter matches and a subsequent identically seeded
+// fine-tune produces the identical best_trace.
+TEST(RunTasks, AgentSaveLoadRoundTripIsBitwise) {
+  const auto opts = tiny_options();
+  Rng calib_rng(opts.calib_seed);
+  const api::EnvFactory factory("Synthetic-API",
+                                circuit::make_technology("180nm"),
+                                env::IndexMode::OneHot, opts.calib_samples,
+                                calib_rng, opts.service);
+  rl::DdpgConfig cfg;
+  cfg.warmup = 2;
+  std::vector<api::LockstepSpec> specs;
+  specs.push_back({cfg, Rng(42), nullptr, {}});
+  api::LockstepGroup trained_group(factory, std::move(specs));
+  trained_group.run(8);
+  rl::DdpgAgent& trained = trained_group.agent(0);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gcnrl_agent_roundtrip.gcr")
+          .string();
+  trained.save(path);
+  const auto env2 = factory.make();
+  rl::DdpgAgent loaded(env2->state(), env2->adjacency(), env2->kinds(), cfg,
+                       Rng(777));
+  loaded.load(path);
+  std::remove(path.c_str());
+
+  const auto tp = trained.parameters();
+  const auto lp = loaded.parameters();
+  ASSERT_EQ(tp.size(), lp.size());
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    EXPECT_EQ(tp[i]->name, lp[i]->name);
+    const auto& want = tp[i]->value;
+    const auto& got = lp[i]->value;
+    ASSERT_TRUE(want.same_shape(got)) << tp[i]->name;
+    for (int r = 0; r < want.rows(); ++r) {
+      for (int c = 0; c < want.cols(); ++c) {
+        EXPECT_EQ(want(r, c), got(r, c)) << tp[i]->name;
+      }
+    }
+  }
+
+  // The loaded agent warm-starts a run exactly like the original.
+  std::vector<api::LockstepSpec> s1, s2;
+  s1.push_back({cfg, Rng(5), &trained, {}});
+  s2.push_back({cfg, Rng(5), &loaded, {}});
+  api::LockstepGroup g1(factory, std::move(s1));
+  api::LockstepGroup g2(factory, std::move(s2));
+  const auto r1 = g1.run(6);
+  const auto r2 = g2.run(6);
+  EXPECT_EQ(r1[0].best_trace, r2[0].best_trace);
+  EXPECT_EQ(r1[0].sims, r2[0].sims);
+}
+
+// A warm start from the checkpoint store's disk tier (fresh store, fresh
+// run_tasks call, weights resolved from the file alone) is bit-identical
+// to the in-memory pretrain_from chain.
+TEST(RunTasks, DiskCheckpointWarmStartMatchesInMemoryPretrain) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gcnrl_ckpt_store_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  api::TaskSpec pre = synthetic_task("GCN-RL", 8, 1);
+  pre.warmup = 2;
+  pre.label = "pre";
+  pre.save_checkpoint = "synthetic-pre";
+  api::TaskSpec xfer = synthetic_task("GCN-RL", 6, 1);
+  xfer.warmup = 2;
+  xfer.pretrain_from = "pre";
+
+  api::CheckpointStore store_a(dir);
+  auto opts_a = tiny_options();
+  opts_a.checkpoints = &store_a;
+  const auto in_memory = api::run_tasks({pre, xfer}, opts_a);
+  EXPECT_TRUE(store_a.contains("synthetic-pre"));
+  EXPECT_EQ(store_a.names(), std::vector<std::string>{"synthetic-pre"});
+  ASSERT_FALSE(store_a.path_of("synthetic-pre").empty());
+  EXPECT_TRUE(std::filesystem::exists(store_a.path_of("synthetic-pre")));
+
+  // Fresh store on the same directory: the memory tier is empty, so the
+  // artifact must come off disk. Both task lists calibrate the same
+  // (circuit, node, mode) group first, so the factories are identical.
+  api::CheckpointStore store_b(dir);
+  EXPECT_TRUE(store_b.names().empty());
+  api::TaskSpec warm = synthetic_task("GCN-RL", 6, 1);
+  warm.warmup = 2;
+  warm.load_checkpoint = "synthetic-pre";
+  auto opts_b = tiny_options();
+  opts_b.checkpoints = &store_b;
+  const auto from_disk = api::run_tasks({warm}, opts_b);
+
+  EXPECT_EQ(from_disk[0].runs[0].best_fom, in_memory[1].runs[0].best_fom);
+  EXPECT_EQ(from_disk[0].runs[0].best_trace,
+            in_memory[1].runs[0].best_trace);
+  EXPECT_EQ(from_disk[0].runs[0].sims, in_memory[1].runs[0].sims);
+  EXPECT_EQ(from_disk[0].spec.label,
+            "GCN-RL/Synthetic-API@180nm<-ckpt:synthetic-pre");
+  std::filesystem::remove_all(dir);
+}
+
+// Stamp checks on load: index mode must match exactly; under OneHot the
+// circuit must match too (the one-hot block ties the state layout to one
+// topology); Scalar accepts any circuit; the node is never checked.
+TEST(CheckpointStore, StampMismatchFailsLoudly) {
+  Rng rng(3);
+  nn::Linear w("ckpt.w", 2, 2, rng);
+  api::CheckpointStore store;
+  store.put("art", w.parameters(),
+            {"Two-TIA", "180nm", env::IndexMode::OneHot});
+  store.put("art-scalar", w.parameters(),
+            {"Two-TIA", "180nm", env::IndexMode::Scalar});
+
+  nn::Linear dst("ckpt.w", 2, 2, rng);
+  EXPECT_THROW(store.load("art", dst.parameters(),
+                          {"Two-TIA", "180nm", env::IndexMode::Scalar}),
+               std::runtime_error);
+  EXPECT_THROW(store.load("art", dst.parameters(),
+                          {"Three-TIA", "180nm", env::IndexMode::OneHot}),
+               std::runtime_error);
+  // Cross-node transfer is the headline protocol — allowed.
+  EXPECT_EQ(store.load("art", dst.parameters(),
+                       {"Two-TIA", "65nm", env::IndexMode::OneHot}),
+            2);
+  // Cross-topology transfer is the point of scalar mode — allowed.
+  EXPECT_EQ(store.load("art-scalar", dst.parameters(),
+                       {"Three-TIA", "65nm", env::IndexMode::Scalar}),
+            2);
+  // A missing artifact lists what the store holds.
+  try {
+    store.load("no-such-artifact", dst.parameters(),
+               {"Two-TIA", "180nm", env::IndexMode::OneHot});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-artifact"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("art"), std::string::npos) << msg;
+  }
+}
+
+TEST(RunTasks, ChainValidationErrors) {
+  // pretrain_from must name a task in the list.
+  api::TaskSpec orphan = synthetic_task("GCN-RL", 4, 1);
+  orphan.pretrain_from = "no-such-label";
+  EXPECT_THROW(api::run_tasks({orphan}, tiny_options()),
+               std::invalid_argument);
+
+  // pretrain_from and load_checkpoint are mutually exclusive.
+  api::TaskSpec both = synthetic_task("GCN-RL", 4, 1);
+  both.pretrain_from = "pre";
+  both.load_checkpoint = "ckpt";
+  EXPECT_THROW(api::run_tasks({both}, tiny_options()),
+               std::invalid_argument);
+
+  // Warm-start fields apply only to DDPG-kind methods.
+  api::TaskSpec es = synthetic_task("ES", 4, 1);
+  es.save_checkpoint = "es-ckpt";
+  EXPECT_THROW(api::run_tasks({es}, tiny_options()), std::invalid_argument);
+
+  // seed_stride without seed_base is a silent-ladder hazard; rejected.
+  api::TaskSpec stride = synthetic_task("GCN-RL", 4, 1);
+  stride.seed_stride = 31;
+  EXPECT_THROW(api::run_tasks({stride}, tiny_options()),
+               std::invalid_argument);
+
+  // Duplicate save names would make checkpoint resolution order-dependent.
+  api::TaskSpec s1 = synthetic_task("GCN-RL", 4, 1);
+  s1.label = "a";
+  s1.save_checkpoint = "dup";
+  api::TaskSpec s2 = synthetic_task("GCN-RL", 4, 1);
+  s2.label = "b";
+  s2.save_checkpoint = "dup";
+  EXPECT_THROW(api::run_tasks({s1, s2}, tiny_options()),
+               std::invalid_argument);
+
+  // A source whose seed count is neither 1 nor the consumer's is rejected.
+  api::TaskSpec wide = synthetic_task("GCN-RL", 4, 2);
+  wide.label = "wide";
+  api::TaskSpec narrow = synthetic_task("GCN-RL", 4, 3);
+  narrow.pretrain_from = "wide";
+  EXPECT_THROW(api::run_tasks({wide, narrow}, tiny_options()),
+               std::invalid_argument);
+
+  // Cycles are detected: a pretrains from b, b loads what a saves.
+  api::TaskSpec cyc_a = synthetic_task("GCN-RL", 4, 1);
+  cyc_a.label = "cyc-a";
+  cyc_a.pretrain_from = "cyc-b";
+  cyc_a.save_checkpoint = "cyc-ckpt";
+  api::TaskSpec cyc_b = synthetic_task("GCN-RL", 4, 1);
+  cyc_b.label = "cyc-b";
+  cyc_b.load_checkpoint = "cyc-ckpt";
+  EXPECT_THROW(api::run_tasks({cyc_a, cyc_b}, tiny_options()),
+               std::invalid_argument);
+}
+
+// seed_base/seed_stride reproduce the canonical ladder when set to its
+// values, and a per-task index_mode override equals the global option.
+TEST(RunTasks, SeedAndIndexModeOverrides) {
+  const api::TaskSpec plain = synthetic_task("GCN-RL", 5, 2);
+  api::TaskSpec laddered = synthetic_task("GCN-RL", 5, 2);
+  laddered.seed_base = api::seed_of(0);
+  laddered.seed_stride = api::seed_of(1) - api::seed_of(0);
+  const auto a = api::run_tasks({plain}, tiny_options());
+  const auto b = api::run_tasks({laddered}, tiny_options());
+  EXPECT_EQ(a[0].best, b[0].best);
+  for (std::size_t s = 0; s < a[0].runs.size(); ++s) {
+    EXPECT_EQ(a[0].runs[s].best_trace, b[0].runs[s].best_trace);
+  }
+  // A different base diverges (the ladder is real, not decorative).
+  api::TaskSpec shifted = synthetic_task("GCN-RL", 5, 2);
+  shifted.seed_base = api::seed_of(0) + 1;
+  const auto c = api::run_tasks({shifted}, tiny_options());
+  EXPECT_NE(a[0].runs[0].best_trace, c[0].runs[0].best_trace);
+
+  api::TaskSpec scalar_task = synthetic_task("GCN-RL", 5, 1);
+  scalar_task.index_mode = env::IndexMode::Scalar;
+  const auto via_override = api::run_tasks({scalar_task}, tiny_options());
+  auto scalar_opts = tiny_options();
+  scalar_opts.mode = env::IndexMode::Scalar;
+  const auto via_option =
+      api::run_tasks({synthetic_task("GCN-RL", 5, 1)}, scalar_opts);
+  EXPECT_EQ(via_override[0].runs[0].best_trace,
+            via_option[0].runs[0].best_trace);
+}
+
+// ---------------------------------------------------------------------------
 // Spec-file parser
 // ---------------------------------------------------------------------------
 
@@ -412,6 +697,40 @@ TEST(SpecParser, BindsAllFields) {
   EXPECT_EQ(f.tasks[1].node, "180nm");
   EXPECT_EQ(f.tasks[1].steps, 300);
   EXPECT_EQ(f.tasks[1].seeds, 1);
+}
+
+TEST(SpecParser, BindsTransferFields) {
+  const api::TaskFile f = api::parse_task_spec(R"({
+    "tasks": [
+      {"circuit": "Two-TIA", "method": "GCN-RL", "label": "pre",
+       "save_checkpoint": "two-tia-pre", "mode": "scalar",
+       "calib_group": "dir1", "seed_base": 500, "seed_stride": 31},
+      {"circuit": "Three-TIA", "method": "GCN-RL", "pretrain_from": "pre"},
+      {"circuit": "Two-TIA", "method": "GCN-RL",
+       "load_checkpoint": "two-tia-pre"}
+    ]
+  })");
+  ASSERT_EQ(f.tasks.size(), 3u);
+  EXPECT_EQ(f.tasks[0].save_checkpoint, "two-tia-pre");
+  ASSERT_TRUE(f.tasks[0].index_mode.has_value());
+  EXPECT_EQ(*f.tasks[0].index_mode, env::IndexMode::Scalar);
+  EXPECT_EQ(f.tasks[0].calib_group, "dir1");
+  ASSERT_TRUE(f.tasks[0].seed_base.has_value());
+  EXPECT_EQ(*f.tasks[0].seed_base, 500u);
+  EXPECT_EQ(f.tasks[0].seed_stride, 31u);
+  EXPECT_EQ(f.tasks[1].pretrain_from, "pre");
+  EXPECT_FALSE(f.tasks[1].index_mode.has_value());
+  EXPECT_FALSE(f.tasks[1].seed_base.has_value());
+  EXPECT_EQ(f.tasks[2].load_checkpoint, "two-tia-pre");
+
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"tasks": [{"circuit": "LDO", "method": "GCN-RL",
+                       "seed_base": -1}]})"),
+               std::runtime_error);  // negative seed
+  EXPECT_THROW(api::parse_task_spec(
+                   R"({"tasks": [{"circuit": "LDO", "method": "GCN-RL",
+                       "mode": "bogus"}]})"),
+               std::runtime_error);  // unknown index mode
 }
 
 TEST(SpecParser, RejectsUnknownAndMalformedInput) {
@@ -463,7 +782,8 @@ TEST(SpecParser, ReportsPositions) {
 
 // The shipped example specs stay parseable (they are CI's smoke input).
 TEST(SpecParser, ShippedSpecsParse) {
-  for (const char* path : {"/specs/smoke.json", "/specs/custom.json"}) {
+  for (const char* path : {"/specs/smoke.json", "/specs/custom.json",
+                           "/specs/transfer.json"}) {
     const api::TaskFile f =
         api::load_task_spec(std::string(GCNRL_SOURCE_DIR) + path);
     EXPECT_FALSE(f.tasks.empty()) << path;

@@ -12,7 +12,10 @@
 //                                     the per-task reports (determinism
 //                                     gate; non-zero exit on divergence)
 //   gcnrl_cli --csv out_ spec.json    also write per-task best-FoM traces
-//                                     to out_<label>.csv
+//                                     to out_<label>.csv plus a per-seed
+//                                     summary (best/evals/sims and the
+//                                     warm-start source of each task) to
+//                                     out_tasks.csv
 //
 // The binary also demonstrates the registry extension point: it registers
 // one extra circuit, "Demo-OTA" (a five-transistor OTA; a trimmed twin of
@@ -179,6 +182,36 @@ void write_traces(const std::string& path, const api::TaskResult& r) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// Per-seed summary across all tasks: one row per (task, seed) with the
+// warmth-independent numbers (best FoM, evals, sims — the sims column is
+// what budget-chain and transfer-cost audits read) and the task's
+// warm-start source, so pretrain and transfer rows are distinguishable
+// even under hand-set colliding labels.
+void write_task_summary(const std::string& path,
+                        const std::vector<api::TaskResult>& results) {
+  CsvWriter csv(path);
+  csv.row({"task", "label", "circuit", "method", "node", "warm_start",
+           "seed", "best", "evals", "sims"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const api::TaskResult& r = results[i];
+    std::string warm;
+    if (!r.spec.pretrain_from.empty()) {
+      warm = "pretrain:" + r.spec.pretrain_from;
+    } else if (!r.spec.load_checkpoint.empty()) {
+      warm = "checkpoint:" + r.spec.load_checkpoint;
+    }
+    for (std::size_t s = 0; s < r.runs.size(); ++s) {
+      const rl::RunResult& run = r.runs[s];
+      char best[40];
+      std::snprintf(best, sizeof(best), "%.17g", run.best_fom);
+      csv.row({std::to_string(i), r.spec.label, r.spec.circuit,
+               r.spec.method, r.spec.node, warm, std::to_string(s), best,
+               std::to_string(run.evals), std::to_string(run.sims)});
+    }
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
 void print_list() {
   std::printf("circuits:\n");
   for (const auto& n : api::circuit_names()) {
@@ -284,6 +317,9 @@ int main(int argc, char** argv) {
             write_traces(trace_path(csv_prefix, results[i], i, csv_paths),
                          results[i]);
           }
+        }
+        if (!csv_prefix.empty()) {
+          write_task_summary(csv_prefix + "tasks.csv", results);
         }
         std::printf("\n");
         table.print();
