@@ -1,109 +1,64 @@
-// Bring your own circuit: build a custom netlist (a simple five-transistor
-// OTA), define its design space, metrics and FoM, and size it with the
-// library — no changes to the library required.
+// Bring your own circuit: load a textual .gcir circuit description (a
+// simple five-transistor OTA), register it at runtime, and size it with
+// the library — no C++ circuit code and no changes to the library.
 //
-// This demonstrates the full extension surface a downstream user touches:
-//   Netlist construction  -> circuit/netlist.hpp
-//   Search-space choices  -> circuit/design_space.hpp (+ match groups)
-//   Testbench + metrics   -> sim/simulator.hpp + meas/*
-//   FoM definition        -> env/fom.hpp
+// This demonstrates the data-driven extension surface:
+//   Circuit description   -> examples/five_t_ota.gcir (format:
+//                            src/circuit/gcir.hpp)
+//   Runtime registration  -> api::register_circuit_file
+//   Benchmark compilation -> api::build_circuit (env::compile_circuit)
 //   Optimization          -> rl::DdpgAgent or any opt::Optimizer
+//
+// The same file also works declaratively: point a spec file's
+// "circuit_file" key (or gcnrl_cli --circuit) at it and address the
+// circuit by its declared name, "MyOTA".
 #include <cstdio>
+#include <cstdlib>
 
-#include "circuits/helpers.hpp"
+#include "api/api.hpp"
 #include "env/sizing_env.hpp"
 #include "rl/run_loop.hpp"
 
+#ifndef GCNRL_SOURCE_DIR
+#define GCNRL_SOURCE_DIR "."
+#endif
+
 using namespace gcnrl;
-
-namespace {
-
-env::BenchmarkCircuit make_five_transistor_ota(
-    const circuit::Technology& tech) {
-  env::BenchmarkCircuit bc;
-  bc.name = "MyOTA";
-  bc.tech = tech;
-
-  auto& nl = bc.netlist;
-  const int vdd = nl.node("vdd");
-  nl.mark_supply("vdd");
-  const int inp = nl.node("inp");
-  const int inn = nl.node("inn");
-  const int d1 = nl.node("d1");
-  const int out = nl.node("out");
-  const int tail = nl.node("tail");
-  const int vbn = nl.node("vbn");
-
-  nl.add_vsource("VDD", vdd, 0, tech.vdd);
-  // Input common mode and differential AC drive.
-  nl.add_vsource("VIP", inp, 0, tech.vdd * 0.55, +0.5);
-  nl.add_vsource("VIN", inn, 0, tech.vdd * 0.55, -0.5);
-  nl.add_isource("IB", vdd, vbn, 25e-6);
-
-  const double l = tech.lmin;
-  nl.add_nmos("M1", d1, inp, tail, 0, 20e-6, 2 * l, 1);   // pair
-  nl.add_nmos("M2", out, inn, tail, 0, 20e-6, 2 * l, 1);  // pair
-  nl.add_pmos("M3", d1, d1, vdd, vdd, 10e-6, 2 * l, 1);   // mirror diode
-  nl.add_pmos("M4", out, d1, vdd, vdd, 10e-6, 2 * l, 1);  // mirror out
-  nl.add_nmos("M5", tail, vbn, 0, 0, 10e-6, 2 * l, 2);    // tail
-  nl.add_nmos("MB", vbn, vbn, 0, 0, 10e-6, 2 * l, 1,
-              /*designable=*/false);  // bias diode kept fixed
-  nl.add_capacitor("CL", out, 0, 1e-12, /*designable=*/false);
-
-  bc.space = circuit::DesignSpace::from_netlist(nl, tech);
-  bc.space.add_match_group(nl, {"M1", "M2"});
-  bc.space.add_match_group(nl, {"M3", "M4"});
-
-  env::FomSpec fom;
-  fom.metrics = {
-      {"gain", "V/V", +1.0, {}, 10.0, {}, true},
-      {"gbw", "Hz", +1.0, {}, {}, {}, true},
-      {"power", "W", -1.0, {}, {}, {}, true},
-  };
-  bc.fom = fom;
-
-  const auto tech_copy = tech;
-  const int out_node = out;
-  bc.evaluate = [out_node, tech_copy](const circuit::Netlist& sized) {
-    sim::Simulator s(sized, tech_copy);
-    env::MetricMap m;
-    m["power"] = s.supply_power();
-    const auto ac = s.ac(sim::logspace(1e2, 1e10, 81));
-    const auto h = circuits::detail::curve_at(ac, out_node);
-    m["gain"] = meas::dc_gain(h);
-    m["gbw"] = meas::gbw(h);
-    return m;
-  };
-
-  bc.human_expert.v = {{20e-6, 2 * l, 1}, {20e-6, 2 * l, 1},
-                       {10e-6, 2 * l, 1}, {10e-6, 2 * l, 1},
-                       {10e-6, 2 * l, 2}};
-  return bc;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const int steps = argc > 1 ? std::atoi(argv[1]) : 250;
-  const auto tech = circuit::make_technology("130nm");
-  env::SizingEnv env(make_five_transistor_ota(tech));
-  Rng rng(9);
-  std::printf("Custom 5T OTA @ 130nm: %d components, %d parameters\n",
-              env.n(), env.flat_dim());
-  env.calibrate(150, rng);
+  const char* path = argc > 2 ? argv[2] : GCNRL_SOURCE_DIR
+      "/examples/five_t_ota.gcir";
+  try {
+    // Parse + validate the description, probe-compile it, and make its
+    // declared name addressable exactly like a built-in benchmark.
+    const std::string name = api::register_circuit_file(path);
+    std::printf("registered circuit \"%s\" from %s\n", name.c_str(), path);
 
-  const auto start = env.evaluate_params(env.bench().human_expert);
-  std::printf("starting point FoM: %.3f (gain %.1f, GBW %.3g Hz)\n",
-              start.fom, start.metrics.at("gain"), start.metrics.at("gbw"));
+    const auto tech = circuit::make_technology("130nm");
+    env::SizingEnv env(api::build_circuit(name, tech));
+    Rng rng(9);
+    std::printf("Custom 5T OTA @ 130nm: %d components, %d parameters\n",
+                env.n(), env.flat_dim());
+    env.calibrate(150, rng);
 
-  rl::DdpgConfig cfg;
-  cfg.warmup = steps / 3;
-  rl::DdpgAgent agent(env.state(), env.adjacency(), env.kinds(), cfg,
-                      rng.split());
-  const auto r = rl::run_ddpg(env, agent, steps);
-  std::printf("after %d GCN-RL steps: FoM %.3f (gain %.1f, GBW %.3g Hz, "
-              "power %.3g W)\n",
-              steps, r.best_fom, r.best_metrics.at("gain"),
-              r.best_metrics.at("gbw"), r.best_metrics.at("power"));
-  return 0;
+    const auto start = env.evaluate_params(env.bench().human_expert);
+    std::printf("starting point FoM: %.3f (gain %.1f, GBW %.3g Hz)\n",
+                start.fom, start.metrics.at("gain"),
+                start.metrics.at("gbw"));
+
+    rl::DdpgConfig cfg;
+    cfg.warmup = steps / 3;
+    rl::DdpgAgent agent(env.state(), env.adjacency(), env.kinds(), cfg,
+                        rng.split());
+    const auto r = rl::run_ddpg(env, agent, steps);
+    std::printf("after %d GCN-RL steps: FoM %.3f (gain %.1f, GBW %.3g Hz, "
+                "power %.3g W)\n",
+                steps, r.best_fom, r.best_metrics.at("gain"),
+                r.best_metrics.at("gbw"), r.best_metrics.at("power"));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "custom_circuit: %s\n", e.what());
+    return 2;
+  }
 }

@@ -47,6 +47,17 @@ void check_stamp(const std::string& name, const CheckpointStamp& stored,
         "\"; one-hot state encodings are topology-specific — use "
         "index_mode scalar for cross-topology transfer");
   }
+  // Same rationale for the content fingerprint: a same-named circuit from
+  // different .gcir content is a different topology. Empty on either side
+  // (C++ builder, or a pre-fingerprint artifact) skips the check.
+  if (expect.mode == env::IndexMode::OneHot && !stored.source.empty() &&
+      !expect.source.empty() && stored.source != expect.source) {
+    throw std::runtime_error(
+        "checkpoint \"" + name + "\": circuit \"" + expect.circuit +
+        "\" was trained from source " + stored.source +
+        " but is now registered from " + expect.source +
+        "; the .gcir content changed, refusing a one-hot warm start");
+  }
   // Node is deliberately unchecked: cross-node transfer (Table IV) is the
   // protocol this store exists for.
 }
@@ -69,9 +80,12 @@ void CheckpointStore::put(const std::string& name,
   Entry entry{stamp, nn::snapshot_parameters(params)};
   if (!dir_.empty()) {
     std::filesystem::create_directories(dir_);
-    const nn::MetaList meta = {{"circuit", stamp.circuit},
-                               {"node", stamp.node},
-                               {"index_mode", mode_str(stamp.mode)}};
+    nn::MetaList meta = {{"circuit", stamp.circuit},
+                         {"node", stamp.node},
+                         {"index_mode", mode_str(stamp.mode)}};
+    // Written only when present, so builder-circuit artifacts keep the
+    // exact pre-fingerprint file layout (and old readers their behavior).
+    if (!stamp.source.empty()) meta.push_back({"circuit_src", stamp.source});
     nn::save_tensors(path_of(name), entry.tensors, meta);
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -116,6 +130,7 @@ int CheckpointStore::load(const std::string& name,
     if (key == "circuit") stored.circuit = value;
     if (key == "node") stored.node = value;
     if (key == "index_mode") stored.mode = mode_from_str(value, path);
+    if (key == "circuit_src") stored.source = value;
   }
   check_stamp(name, stored, expect);
   return nn::assign_tensors(file.tensors, dst, /*strict=*/true, path);

@@ -24,6 +24,11 @@
 //                state encoding to one topology); any circuit is accepted
 //                under Scalar — cross-topology transfer is the point of
 //                that mode (paper Sec. III-E).
+//   source       under OneHot, when both sides carry a source fingerprint,
+//                they must match: two same-named circuits from *different*
+//                .gcir content are different topologies even though the
+//                circuit tag agrees. Either side empty skips the check
+//                (old artifacts carry no fingerprint).
 //   node         never checked — cross-node transfer is the headline
 //                protocol (Table IV).
 #pragma once
@@ -39,11 +44,14 @@
 namespace gcnrl::api {
 
 // What an artifact was trained on. `circuit` and `node` are the registry /
-// technology names; `mode` is the state-index mode of the training env.
+// technology names; `mode` is the state-index mode of the training env;
+// `source` is the circuit's content fingerprint (api::circuit_source_tag —
+// "gcir:<hash>" for file-registered circuits, "" for C++ builders).
 struct CheckpointStamp {
   std::string circuit;
   std::string node;
   env::IndexMode mode = env::IndexMode::OneHot;
+  std::string source;
 };
 
 class CheckpointStore {

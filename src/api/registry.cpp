@@ -3,11 +3,16 @@
 // the CircuitRegistry at the bottom of this file.
 #include "api/registry.hpp"
 
+#include <cstdint>
+#include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "circuit/gcir.hpp"
+#include "env/circuit_compile.hpp"
 #include "opt/bayes_opt.hpp"
 #include "opt/cma_es.hpp"
 #include "opt/mace.hpp"
@@ -23,6 +28,10 @@ namespace {
 struct CircuitEntry {
   std::string name;
   CircuitBuilder builder;
+  // "gcir:<fnv1a64 of file text>" for file-registered circuits, "" for
+  // C++ builders. Doubles as the idempotency key for
+  // register_circuit_file and as the checkpoint-stamp source field.
+  std::string source_tag;
 };
 
 struct CircuitReg {
@@ -47,10 +56,10 @@ CircuitReg& circuit_reg() {
   // nothing references).
   static CircuitReg reg;
   static const bool seeded = [] {
-    reg.entries.push_back({"Two-TIA", circuits::make_two_tia});
-    reg.entries.push_back({"Two-Volt", circuits::make_two_volt});
-    reg.entries.push_back({"Three-TIA", circuits::make_three_tia});
-    reg.entries.push_back({"LDO", circuits::make_ldo});
+    reg.entries.push_back({"Two-TIA", circuits::make_two_tia, ""});
+    reg.entries.push_back({"Two-Volt", circuits::make_two_volt, ""});
+    reg.entries.push_back({"Three-TIA", circuits::make_three_tia, ""});
+    reg.entries.push_back({"LDO", circuits::make_ldo, ""});
     return true;
   }();
   (void)seeded;
@@ -115,7 +124,7 @@ void register_circuit(const std::string& name, CircuitBuilder builder) {
           "register_circuit: duplicate circuit name \"" + name + "\"");
     }
   }
-  reg.entries.push_back({name, std::move(builder)});
+  reg.entries.push_back({name, std::move(builder), ""});
 }
 
 bool circuit_registered(const std::string& name) {
@@ -149,6 +158,74 @@ env::BenchmarkCircuit build_circuit(const std::string& name,
   // Build outside the registry lock: builders are arbitrarily expensive
   // and may themselves consult the registry.
   return find_circuit_builder(name)(tech);
+}
+
+namespace {
+
+std::string fnv1a_source_tag(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "gcir:%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+std::string register_circuit_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::invalid_argument("register_circuit_file: cannot read \"" +
+                                path + "\"");
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  const std::string tag = fnv1a_source_tag(text);
+  auto desc = std::make_shared<const circuit::CircuitDescription>(
+      circuit::parse_gcir(text, path));
+  // Compile probe: surface description-level problems (and most numeric
+  // ones) at registration time, with the file as context, instead of at
+  // the first task that builds the circuit.
+  (void)env::compile_circuit(*desc, circuit::make_technology("180nm"));
+
+  CircuitReg& reg = circuit_reg();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (const CircuitEntry& e : reg.entries) {
+    if (e.name != desc->name) continue;
+    if (e.source_tag == tag) return desc->name;  // same content: no-op
+    throw std::invalid_argument(
+        "register_circuit_file: circuit \"" + desc->name +
+        "\" is already registered " +
+        (e.source_tag.empty() ? "by a C++ builder"
+                              : "from different file content") +
+        " (from \"" + path + "\")");
+  }
+  reg.entries.push_back(
+      {desc->name,
+       [desc](const circuit::Technology& tech) {
+         return env::compile_circuit(*desc, tech);
+       },
+       tag});
+  return desc->name;
+}
+
+std::string circuit_source_tag(const std::string& name) {
+  CircuitReg& reg = circuit_reg();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  for (const CircuitEntry& e : reg.entries) {
+    if (e.name == name) return e.source_tag;
+  }
+  throw std::invalid_argument("unknown circuit \"" + name +
+                              "\" (registered: " + name_list(reg.entries) +
+                              ")");
 }
 
 void require_circuit(const std::string& name) {

@@ -48,6 +48,22 @@ using CircuitBuilder =
 // name is empty or already taken (built-ins included).
 void register_circuit(const std::string& name, CircuitBuilder builder);
 [[nodiscard]] bool circuit_registered(const std::string& name);
+// Loads a .gcir circuit description (circuit::load_gcir) and registers it
+// under its declared name; the registered builder compiles the parsed
+// description per technology node (env::compile_circuit). Parse and
+// compile diagnostics surface here, eagerly, via a compile probe at the
+// 180nm node. Returns the declared name. Re-registering byte-identical
+// file content under the same name is an idempotent no-op (so specs and
+// --circuit flags may both name the same file); a name collision with
+// *different* content — or with a C++-registered builder — throws
+// std::invalid_argument. File-registered circuits carry a content
+// fingerprint ("gcir:<fnv1a64>") retrievable via circuit_source_tag(),
+// which checkpoint stamps embed to catch cross-source transfer mixups.
+std::string register_circuit_file(const std::string& path);
+// Source fingerprint of a registered circuit: "gcir:<hash>" for
+// file-registered circuits, "" for C++ builders. Unknown names throw the
+// build_circuit diagnostic.
+std::string circuit_source_tag(const std::string& name);
 // Builds the named circuit at the given node. Unknown names throw
 // std::invalid_argument listing every registered name.
 env::BenchmarkCircuit build_circuit(const std::string& name,

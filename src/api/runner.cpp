@@ -237,6 +237,18 @@ std::vector<TaskResult> run_tasks(const std::vector<TaskSpec>& tasks,
   for (TaskSpec& t : specs) {
     const MethodInfo& mi = method_info(t.method);  // throws for unknown
     infos.push_back(&mi);
+    if (!t.circuit_file.empty()) {
+      // Idempotent for identical file content, so many tasks (or repeat
+      // runs in one process) may name the same file.
+      const std::string declared = register_circuit_file(t.circuit_file);
+      if (!t.circuit.empty() && t.circuit != declared) {
+        throw std::invalid_argument(
+            "run_tasks: task circuit \"" + t.circuit + "\" does not match "
+            "the name \"" + declared + "\" declared by \"" +
+            t.circuit_file + "\"");
+      }
+      t.circuit = declared;
+    }
     require_circuit(t.circuit);  // throws listing registered names
     if (t.steps <= 0) {
       throw std::invalid_argument("run_tasks: task \"" + t.method + "/" +
@@ -481,7 +493,8 @@ std::vector<TaskResult> run_tasks(const std::vector<TaskSpec>& tasks,
               *src_agents[static_cast<std::size_t>(src_seeds == 1 ? 0 : s)]);
         };
       } else if (!t.load_checkpoint.empty()) {
-        const CheckpointStamp expect{t.circuit, t.node, mode_of(t)};
+        const CheckpointStamp expect{t.circuit, t.node, mode_of(t),
+                                     circuit_source_tag(t.circuit)};
         const std::string name = t.load_checkpoint;
         plan.warm = [&store, expect, name](int s, rl::DdpgAgent& agent) {
           const std::string per_seed = name + "#" + std::to_string(s);
@@ -495,7 +508,8 @@ std::vector<TaskResult> run_tasks(const std::vector<TaskSpec>& tasks,
     for (const std::size_t i : members) {
       const TaskSpec& t = specs[i];
       if (t.save_checkpoint.empty()) continue;
-      const CheckpointStamp stamp{t.circuit, t.node, mode_of(t)};
+      const CheckpointStamp stamp{t.circuit, t.node, mode_of(t),
+                                  circuit_source_tag(t.circuit)};
       for (int s = 0; s < t.seeds; ++s) {
         const std::string name =
             t.seeds == 1 ? t.save_checkpoint

@@ -270,6 +270,9 @@ TaskSpec bind_task(const JsonValue& v, std::size_t index) {
     if (key == "circuit") {
       t.circuit = as_string(val, key);
       have_circuit = true;
+    } else if (key == "circuit_file") {
+      t.circuit_file = as_string(val, key);
+      have_circuit = true;
     } else if (key == "method") {
       t.method = as_string(val, key);
       have_method = true;
@@ -305,14 +308,18 @@ TaskSpec bind_task(const JsonValue& v, std::size_t index) {
       t.seed_stride = static_cast<std::uint64_t>(stride);
     } else {
       schema_fail(val, "unknown task key \"" + key +
-                           "\" (known: circuit, method, node, steps, "
-                           "warmup, seeds, sim_budget, label, "
+                           "\" (known: circuit, circuit_file, method, node, "
+                           "steps, warmup, seeds, sim_budget, label, "
                            "pretrain_from, load_checkpoint, "
                            "save_checkpoint, mode, calib_group, seed_base, "
                            "seed_stride)");
     }
   }
-  if (!have_circuit) schema_fail(v, "task is missing required key \"circuit\"");
+  if (!have_circuit) {
+    schema_fail(v,
+                "task is missing required key \"circuit\" (or "
+                "\"circuit_file\")");
+  }
   if (!have_method) schema_fail(v, "task is missing required key \"method\"");
   return t;
 }
@@ -376,7 +383,19 @@ TaskFile load_task_spec(const std::string& path) {
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
   std::fclose(f);
-  return parse_task_spec(text);
+  TaskFile out = parse_task_spec(text);
+  // Relative circuit_file paths are spec-relative, so a spec and its .gcir
+  // files travel together regardless of the CLI's working directory.
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    const std::string dir = path.substr(0, slash + 1);
+    for (TaskSpec& t : out.tasks) {
+      if (!t.circuit_file.empty() && t.circuit_file.front() != '/') {
+        t.circuit_file = dir + t.circuit_file;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace gcnrl::api

@@ -11,7 +11,14 @@
 //   },
 //   "tasks": [                    // required; one object per task
 //     {
-//       "circuit":  "Two-TIA",    // required; a CircuitRegistry name
+//       "circuit":  "Two-TIA",    // a CircuitRegistry name; required
+//                                 // unless circuit_file is given
+//       "circuit_file": "x.gcir", // path to a .gcir circuit description:
+//                                 // registered at run time (its declared
+//                                 // name becomes the task's circuit; a
+//                                 // also-given "circuit" must match it).
+//                                 // Relative paths resolve against the
+//                                 // spec file's directory.
 //       "method":   "GCN-RL",     // required; a MethodRegistry name
 //       "node":     "180nm",      // technology node (default "180nm")
 //       "steps":    300,          // search steps per seed (default 300)

@@ -140,6 +140,13 @@ class LockstepGroup {
 // name registered entries (see registry.hpp).
 struct TaskSpec {
   std::string circuit;         // CircuitRegistry name, e.g. "Two-TIA"
+  // Path to a .gcir circuit-description file. run_tasks registers it
+  // (register_circuit_file — idempotent for identical content) before
+  // validation and targets the declared circuit. When `circuit` is also
+  // set it must equal the file's declared name; when only `circuit_file`
+  // is set the declared name is filled in. Spec files resolve relative
+  // paths against the spec file's directory (api/spec.cpp).
+  std::string circuit_file;
   std::string method;          // MethodRegistry name, e.g. "GCN-RL"
   std::string node = "180nm";  // technology node (circuit::make_technology)
   int steps = 300;             // search steps (evaluation budget) per seed

@@ -1,0 +1,177 @@
+// Textual circuit descriptions: the parsed, unresolved form of a .gcir
+// file (see gcir.hpp for the format and parser).
+//
+// A CircuitDescription is pure data — names, expressions, declaration
+// order — with no dependency on the simulator or a concrete technology
+// node. Numeric fields are circuit::Expr so one description ports across
+// nodes ("l=2*lmin") exactly like the hand-written C++ builders; nothing
+// is evaluated until env::compile_circuit() binds the description to a
+// Technology and produces a runnable env::BenchmarkCircuit.
+//
+// Declaration order is load-bearing and preserved everywhere:
+//   * nets in declaration order define the node-id assignment (and so the
+//     MNA unknown ordering — the .gcir ports of the paper circuits declare
+//     nets in the builders' node() call order to stay bit-identical);
+//   * elements (sources and devices interleaved, in file order) define
+//     both element insertion order and the design-component/graph-vertex
+//     order;
+//   * metrics, match groups and plan entries keep file order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/expr.hpp"
+#include "circuit/netlist.hpp"
+
+namespace gcnrl::circuit {
+
+// A designable (or fixed) device: NMOS/PMOS (nodes d g s b; params w l m)
+// or R/C (nodes a b; params[0] = r or c).
+struct DeviceDesc {
+  Kind kind = Kind::Nmos;
+  std::string name;
+  std::vector<std::string> nodes;      // 4 for MOS, 2 for R/C
+  std::array<Expr, kMaxActionDim> params;
+  bool designable = true;
+  int line = 0;
+};
+
+// Independent V/I source with optional AC magnitude and PWL waveform.
+struct SourceDesc {
+  bool is_vsource = true;
+  std::string name;
+  std::string p, n;
+  Expr dc;
+  Expr ac;                                   // empty = 0
+  std::vector<std::pair<Expr, Expr>> pwl;    // (time, value) pairs
+  int line = 0;
+};
+
+// File-order element sequence: index into `devices` or `sources`.
+struct ElementRef {
+  bool is_source = false;
+  int index = 0;
+};
+
+struct NetDesc {
+  std::string name;
+  bool supply = false;
+};
+
+// Search-range override: `bound T6 w.hi=wmax` tightens/widens one side of
+// one parameter's default range from DesignSpace::from_netlist.
+struct BoundDesc {
+  std::string comp;
+  int param = 0;      // 0 = w/r/c, 1 = l, 2 = m
+  bool hi = true;     // which side of the range
+  Expr value;
+  int line = 0;
+};
+
+struct MatchDesc {
+  std::vector<std::string> comps;
+  bool l_only = false;
+  int line = 0;
+};
+
+// One row of the FoM metric table (env::MetricDef with Expr bounds).
+struct MetricDesc {
+  std::string name;
+  std::string unit;
+  double weight = 1.0;
+  std::optional<Expr> bound;
+  std::optional<Expr> spec_min;
+  std::optional<Expr> spec_max;
+  bool log_norm = false;
+  int line = 0;
+};
+
+// Human-expert sizing for one component (3 values for MOS, 1 for R/C).
+struct ExpertDesc {
+  std::string comp;
+  std::vector<Expr> values;
+  int line = 0;
+};
+
+// --- declarative measurement plan (unresolved) -----------------------------
+
+// Per-bench source override: the .gcir twin of the builders'
+// `nl.find_vsource("VDD")->ac = 1.0` testbench edits.
+struct SourceSetDesc {
+  std::string source;
+  std::optional<Expr> dc;
+  std::optional<Expr> ac;
+  std::optional<std::vector<std::pair<Expr, Expr>>> pwl;
+  int line = 0;
+};
+
+struct AcSweepDesc {
+  Expr fmin, fmax;
+  int npoints = 0;
+};
+
+struct NoiseDesc {
+  std::vector<Expr> freqs;
+  std::string out_p;
+  std::string out_n;  // empty = ground
+};
+
+struct TranDesc {
+  Expr tstop, dt;
+};
+
+// One testbench: a (possibly source-overridden) copy of the sized netlist
+// driven through one Simulator. Analyses run in the fixed order power ->
+// ac -> noise -> tran (each at most once per bench).
+struct BenchDesc {
+  std::string name;
+  std::vector<SourceSetDesc> sets;
+  std::optional<AcSweepDesc> ac;
+  std::optional<NoiseDesc> noise;
+  std::optional<TranDesc> tran;
+  std::string warm_from;  // earlier bench whose DC op seeds this one
+  int line = 0;
+};
+
+// Measurement vocabulary (meas::run_plan implements each of these).
+enum class ExtractFn {
+  SupplyPower,   // sim supply power (no probe)
+  DcGain,        // meas::dc_gain of the probe's AC curve
+  Bandwidth3db,  // meas::bandwidth_3db
+  PeakingDb,     // meas::peaking_db
+  Gbw,           // meas::gbw (= dc_gain * bandwidth_3db)
+  InputNoise,    // input-referred spot noise at `at_freq`
+  SettlingTime,  // settling after `edge` within [win_t0, win_t1], tol `tol`
+};
+
+struct ExtractDesc {
+  std::string metric;  // MetricMap key this extraction produces
+  ExtractFn fn = ExtractFn::DcGain;
+  std::string bench;
+  std::string probe_p;  // AC/tran probe node ("" = none)
+  std::string probe_n;  // non-empty = differential probe
+  std::optional<Expr> at_freq;                  // InputNoise
+  std::optional<Expr> win_t0, win_t1, edge, tol;  // SettlingTime
+  int line = 0;
+};
+
+// --- the description -------------------------------------------------------
+
+struct CircuitDescription {
+  std::string name;
+  std::vector<NetDesc> nets;        // declaration order = node-id order
+  std::vector<DeviceDesc> devices;
+  std::vector<SourceDesc> sources;
+  std::vector<ElementRef> element_order;
+  std::vector<BoundDesc> bounds;
+  std::vector<MatchDesc> matches;
+  std::vector<MetricDesc> metrics;
+  std::vector<ExpertDesc> expert;
+  std::vector<BenchDesc> benches;
+  std::vector<ExtractDesc> extracts;
+};
+
+}  // namespace gcnrl::circuit

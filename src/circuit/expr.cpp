@@ -1,0 +1,225 @@
+#include "circuit/expr.hpp"
+
+#include <cstdlib>
+#include <iterator>
+#include <stdexcept>
+
+namespace gcnrl::circuit {
+
+namespace {
+
+struct Symbol {
+  const char* name;
+  double (*get)(const Technology&);
+};
+
+// One row per Technology field a builder could reasonably read. Adding a
+// row here makes the symbol available to every .gcir file.
+constexpr Symbol kSymbols[] = {
+    {"vdd", [](const Technology& t) { return t.vdd; }},
+    {"lmin", [](const Technology& t) { return t.lmin; }},
+    {"lmax", [](const Technology& t) { return t.lmax; }},
+    {"wmin", [](const Technology& t) { return t.wmin; }},
+    {"wmax", [](const Technology& t) { return t.wmax; }},
+    {"grid", [](const Technology& t) { return t.grid; }},
+    {"mmax", [](const Technology& t) { return static_cast<double>(t.mmax); }},
+    {"rmin", [](const Technology& t) { return t.rmin; }},
+    {"rmax", [](const Technology& t) { return t.rmax; }},
+    {"cmin", [](const Technology& t) { return t.cmin; }},
+    {"cmax", [](const Technology& t) { return t.cmax; }},
+};
+constexpr int kNumSymbols = static_cast<int>(std::size(kSymbols));
+
+// SI suffix -> decimal exponent appended textually to the mantissa.
+int suffix_exponent(char c) {
+  switch (c) {
+    case 'T': return 12;
+    case 'G': return 9;
+    case 'M': return 6;
+    case 'k':
+    case 'K': return 3;
+    case 'm': return -3;
+    case 'u': return -6;
+    case 'n': return -9;
+    case 'p': return -12;
+    case 'f': return -15;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& expr_symbols() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Symbol& s : kSymbols) out.emplace_back(s.name);
+    return out;
+  }();
+  return names;
+}
+
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text, Expr& out)
+      : text_(text), out_(out) {}
+
+  void run() {
+    expr();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("expression \"" + text_ + "\" at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expr() {
+    term();
+    while (peek() == '+' || peek() == '-') {
+      const char op = text_[pos_++];
+      term();
+      out_.ops_.push_back({op == '+' ? Expr::Op::Add : Expr::Op::Sub, 0, 0});
+    }
+  }
+
+  void term() {
+    factor();
+    while (peek() == '*' || peek() == '/') {
+      const char op = text_[pos_++];
+      factor();
+      out_.ops_.push_back({op == '*' ? Expr::Op::Mul : Expr::Op::Div, 0, 0});
+    }
+  }
+
+  void factor() {
+    const char c = peek();
+    if (c == '-') {
+      ++pos_;
+      factor();
+      out_.ops_.push_back({Expr::Op::Neg, 0, 0});
+    } else if (c == '(') {
+      ++pos_;
+      expr();
+      if (peek() != ')') fail("expected ')'");
+      ++pos_;
+    } else if ((c >= '0' && c <= '9') || c == '.') {
+      number();
+    } else if ((c >= 'a' && c <= 'z') || c == '_') {
+      symbol();
+    } else if (c == '\0') {
+      fail("unexpected end of expression");
+    } else {
+      fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void number() {
+    std::string mantissa;
+    bool any_digit = false;
+    while ((peek() >= '0' && peek() <= '9') || peek() == '.') {
+      any_digit = any_digit || (peek() >= '0' && peek() <= '9');
+      mantissa += text_[pos_++];
+    }
+    if (!any_digit) fail("malformed number");
+    bool has_exponent = false;
+    if (peek() == 'e' || peek() == 'E') {
+      // Only treat it as an exponent when digits (or a signed digit run)
+      // follow; otherwise fall through to the suffix check below.
+      std::size_t probe = pos_ + 1;
+      if (probe < text_.size() &&
+          (text_[probe] == '+' || text_[probe] == '-')) {
+        ++probe;
+      }
+      if (probe < text_.size() && text_[probe] >= '0' &&
+          text_[probe] <= '9') {
+        has_exponent = true;
+        mantissa += text_[pos_++];
+        if (peek() == '+' || peek() == '-') mantissa += text_[pos_++];
+        while (peek() >= '0' && peek() <= '9') mantissa += text_[pos_++];
+      }
+    }
+    if (!has_exponent && suffix_exponent(peek()) != 0) {
+      // Textual expansion keeps decimal->binary rounding identical to a
+      // C++ source literal: "50u" becomes the string "50e-6", never the
+      // product 50.0 * 1e-6.
+      mantissa += 'e';
+      mantissa += std::to_string(suffix_exponent(text_[pos_++]));
+    }
+    char* end = nullptr;
+    const double v = std::strtod(mantissa.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number \"" + mantissa + "\"");
+    }
+    out_.ops_.push_back({Expr::Op::Num, v, 0});
+  }
+
+  void symbol() {
+    std::string name;
+    while ((peek() >= 'a' && peek() <= 'z') ||
+           (peek() >= '0' && peek() <= '9') || peek() == '_') {
+      name += text_[pos_++];
+    }
+    for (int i = 0; i < kNumSymbols; ++i) {
+      if (name == kSymbols[i].name) {
+        out_.ops_.push_back({Expr::Op::Sym, 0, i});
+        return;
+      }
+    }
+    std::string known;
+    for (const std::string& s : expr_symbols()) {
+      known += known.empty() ? s : ", " + s;
+    }
+    fail("unknown symbol \"" + name + "\" (known: " + known + ")");
+  }
+
+  const std::string& text_;
+  Expr& out_;
+  std::size_t pos_ = 0;
+};
+
+Expr Expr::parse(const std::string& text) {
+  if (text.empty()) {
+    throw std::invalid_argument("expression: empty input");
+  }
+  Expr out;
+  out.text_ = text;
+  ExprParser(text, out).run();
+  return out;
+}
+
+double Expr::eval(const Technology& tech) const {
+  if (ops_.empty()) return 0.0;
+  // Stack depth is bounded by the program length; expressions are tiny.
+  std::vector<double> stack;
+  stack.reserve(ops_.size());
+  for (const Step& s : ops_) {
+    switch (s.op) {
+      case Op::Num:
+        stack.push_back(s.num);
+        break;
+      case Op::Sym:
+        stack.push_back(kSymbols[s.sym].get(tech));
+        break;
+      case Op::Neg:
+        stack.back() = -stack.back();
+        break;
+      default: {
+        const double b = stack.back();
+        stack.pop_back();
+        double& a = stack.back();
+        if (s.op == Op::Add) a += b;
+        else if (s.op == Op::Sub) a -= b;
+        else if (s.op == Op::Mul) a *= b;
+        else a /= b;
+      }
+    }
+  }
+  return stack.back();
+}
+
+}  // namespace gcnrl::circuit

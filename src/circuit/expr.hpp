@@ -1,0 +1,65 @@
+// Sizing expressions for textual circuit descriptions (.gcir files).
+//
+// An Expr is a compiled arithmetic expression over numeric literals and
+// the technology symbols a circuit builder would read off its Technology
+// argument (vdd, lmin, wmax, ...). Device parameters, source values,
+// bounds, metric specs and expert sizings in a .gcir file are all Exprs,
+// so one description file ports across nodes exactly like the C++
+// builders do ("w=2*lmin" resizes with the node).
+//
+// Bit-parity ground rules (the .gcir ports are parity-tested against the
+// hand-written builders):
+//   * SI suffixes are expanded *textually* before strtod ("50u" ->
+//     "50e-6"), so a literal produces the identical correctly-rounded
+//     double a C++ source literal would — never a runtime multiply by a
+//     power of ten.
+//   * Evaluation replays the parsed operation tree with C++'s operator
+//     precedence and left-associativity, so "50u*(vdd/1.8)" performs
+//     exactly the multiplies and divides of `50e-6 * (tech.vdd / 1.8)`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/tech.hpp"
+
+namespace gcnrl::circuit {
+
+// Compiled expression: a postfix program evaluated with a small stack.
+class Expr {
+ public:
+  // An empty (default-constructed) Expr evaluates to 0 and is used by
+  // description structs as "field not given".
+  Expr() = default;
+
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  // Evaluates against a technology node's symbol values.
+  [[nodiscard]] double eval(const Technology& tech) const;
+  // The source text the expression was parsed from (diagnostics).
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  // Parses `text` (no whitespace allowed — .gcir tokenizes on spaces).
+  // Grammar: expr := term (('+'|'-') term)*, term := factor (('*'|'/')
+  // factor)*, factor := '-' factor | '(' expr ')' | number | symbol.
+  // Numbers accept an optional SI suffix (T G M k m u n p f, plus 'K');
+  // symbols are the Technology fields listed in expr_symbols(). Throws
+  // std::invalid_argument on malformed input, with the offset of the
+  // offending character in the message.
+  static Expr parse(const std::string& text);
+
+ private:
+  enum class Op { Num, Sym, Add, Sub, Mul, Div, Neg };
+  struct Step {
+    Op op;
+    double num = 0.0;  // Op::Num
+    int sym = 0;       // Op::Sym: index into the symbol table
+  };
+  std::vector<Step> ops_;
+  std::string text_;
+  friend class ExprParser;
+};
+
+// The symbol vocabulary, in table order (for diagnostics and docs).
+const std::vector<std::string>& expr_symbols();
+
+}  // namespace gcnrl::circuit

@@ -1,0 +1,76 @@
+// .gcir: the textual circuit-description format.
+//
+// A .gcir file is everything a hand-written builder in src/circuits/
+// provides, as data: nets and supply rails, devices and sources, sizing
+// bounds and match groups, the FoM metric table, a declarative
+// measurement plan (testbenches + analyses + extractions), and a
+// human-expert sizing. env::compile_circuit() turns the parsed
+// description into a runnable env::BenchmarkCircuit;
+// api::register_circuit_file() registers it by its declared name.
+//
+// ---------------------------------------------------------------------------
+// FORMAT (line-oriented; '#' starts a comment; tokens are whitespace-
+// separated; EXPR is a circuit::Expr — no spaces, SI suffixes and the
+// technology symbols of expr_symbols() allowed, e.g. "50u*(vdd/1.8)")
+// ---------------------------------------------------------------------------
+// circuit NAME                      # required, once, first directive
+// supply NET...                     # declare supply nets (VDD, bias rails)
+// net NET...                        # declare signal nets
+//   # Net declaration order defines node-id (and MNA unknown) order;
+//   # "0"/"gnd"/"vss" are predeclared ground aliases.
+// vsource NAME P N dc=EXPR [ac=EXPR] [pwl=(t,v)(t,v)...]
+// isource NAME P N dc=EXPR [ac=EXPR] [pwl=(t,v)(t,v)...]
+// nmos NAME D G S B w=EXPR l=EXPR m=EXPR [fixed]
+// pmos NAME D G S B w=EXPR l=EXPR m=EXPR [fixed]
+// resistor NAME A B r=EXPR [fixed]
+// capacitor NAME A B c=EXPR [fixed]
+//   # Elements keep file order: sources/devices may interleave; the
+//   # designable (non-"fixed") devices become the graph vertices in
+//   # declaration order.
+// bound COMP PARAM.SIDE=EXPR        # e.g. "bound T6 w.hi=wmax" — override
+//                                   # one side of a default search range
+//                                   # (PARAM: w|l|m|r|c, SIDE: lo|hi)
+// match COMP COMP... [l_only]       # match group (l_only: share L only)
+// metric NAME unit=STR weight=NUM [bound=EXPR] [spec_min=EXPR]
+//        [spec_max=EXPR] [log]      # one FoM table row (env::MetricDef)
+// expert COMP VAL [VAL VAL]         # human-expert sizing (MOS: w l m;
+//                                   # R/C: one value); if any expert line
+//                                   # is present, every designable
+//                                   # component needs exactly one
+//
+// bench NAME                        # declare a testbench
+// set BENCH SOURCE [dc=EXPR] [ac=EXPR] [pwl=(t,v)...]
+//                                   # per-bench source override
+// ac BENCH FMIN FMAX NPOINTS        # log-spaced AC sweep
+// noise BENCH out=NODE[,NODE] FREQ...
+// tran BENCH tstop=EXPR dt=EXPR
+// warm BENCH from=BENCH             # seed DC from an earlier bench's op
+// extract METRIC FN bench=BENCH [probe=NODE[,NODE]] [at=EXPR]
+//         [window=EXPR,EXPR] [edge=EXPR] [tol=EXPR]
+//   # FN: supply_power | dc_gain | bandwidth_3db | peaking_db | gbw |
+//   #     input_noise (needs at= + the bench's noise analysis) |
+//   #     settling_time (needs window=/edge=/tol= + the bench's tran)
+// ---------------------------------------------------------------------------
+// The parser is strict in the api/spec.cpp tradition: unknown directives
+// or keys, undeclared nets/benches/components, duplicate names, missing
+// required fields and malformed expressions all throw std::runtime_error
+// with a "<origin>:line:column" position. A parsed description is fully
+// name-resolved — compiling it can only fail on I/O-free invariants.
+#pragma once
+
+#include <string>
+
+#include "circuit/description.hpp"
+
+namespace gcnrl::circuit {
+
+// Parses .gcir text. `origin` names the source in diagnostics (a path, or
+// "<string>" for inline text).
+CircuitDescription parse_gcir(const std::string& text,
+                              const std::string& origin = "<string>");
+
+// Reads and parses a .gcir file; throws std::runtime_error when the file
+// cannot be read.
+CircuitDescription load_gcir(const std::string& path);
+
+}  // namespace gcnrl::circuit

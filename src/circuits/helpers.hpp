@@ -1,73 +1,20 @@
 // Internal helpers shared by the circuit builders (not installed API).
+//
+// The curve-extraction helpers themselves live in meas/plan.hpp now, so
+// the .gcir plan interpreter and the hand-written builders run the exact
+// same code; this header keeps the builders' historical
+// circuits::detail:: spelling.
 #pragma once
 
-#include <cmath>
-
-#include "meas/ac_metrics.hpp"
-#include "meas/tran_metrics.hpp"
+#include "meas/plan.hpp"
 #include "sim/simulator.hpp"
 
 namespace gcnrl::circuits::detail {
 
-// Single-ended transfer curve at `node`.
-inline meas::AcCurve curve_at(const sim::AcResult& ac, int node) {
-  meas::AcCurve c;
-  c.freq = ac.freq;
-  c.h.reserve(ac.freq.size());
-  for (std::size_t i = 0; i < ac.freq.size(); ++i) {
-    c.h.push_back(ac.phasor(static_cast<int>(i), node));
-  }
-  return c;
-}
-
-// Differential transfer curve between nodes p and n.
-inline meas::AcCurve curve_diff(const sim::AcResult& ac, int p, int n) {
-  meas::AcCurve c;
-  c.freq = ac.freq;
-  c.h.reserve(ac.freq.size());
-  for (std::size_t i = 0; i < ac.freq.size(); ++i) {
-    c.h.push_back(ac.diff(static_cast<int>(i), p, n));
-  }
-  return c;
-}
-
-// Transient node waveform extraction.
-inline meas::TranCurve tran_curve(const sim::TranResult& tr, int node) {
-  meas::TranCurve c;
-  c.t = tr.t;
-  c.v.reserve(tr.t.size());
-  for (std::size_t i = 0; i < tr.t.size(); ++i) {
-    c.v.push_back(tr.at(static_cast<int>(i), node));
-  }
-  return c;
-}
-
-// Sub-curve restricted to [t0, t1].
-inline meas::TranCurve window(const meas::TranCurve& c, double t0, double t1) {
-  meas::TranCurve w;
-  for (std::size_t i = 0; i < c.t.size(); ++i) {
-    if (c.t[i] >= t0 && c.t[i] <= t1) {
-      w.t.push_back(c.t[i]);
-      w.v.push_back(c.v[i]);
-    }
-  }
-  return w;
-}
-
-// Input-referred spot noise density at frequency f: sqrt(Sout / |H(f)|^2).
-inline double input_referred_noise(const sim::NoiseResult& nr,
-                                   const meas::AcCurve& h, double f) {
-  // Locate the PSD sample nearest to f (noise grids are small).
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < nr.freq.size(); ++i) {
-    if (std::fabs(std::log(nr.freq[i] / f)) <
-        std::fabs(std::log(nr.freq[best] / f))) {
-      best = i;
-    }
-  }
-  const double gain = meas::magnitude_at(h, nr.freq[best]);
-  if (gain <= 0.0) return 1.0;  // degenerate design: huge noise
-  return std::sqrt(nr.out_psd[best]) / gain;
-}
+using meas::curve_at;
+using meas::curve_diff;
+using meas::input_referred_noise;
+using meas::tran_curve;
+using meas::window;
 
 }  // namespace gcnrl::circuits::detail

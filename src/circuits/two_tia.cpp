@@ -81,7 +81,7 @@ env::BenchmarkCircuit make_two_tia(const Technology& tech) {
   // copy, never a reference into the builder — and the Simulator is
   // function-local, so concurrent invocations share no mutable state.
   const Technology tech_copy = tech;
-  bc.evaluate = [vout, in, tech_copy](const Netlist& sized) {
+  bc.evaluate = [vout, tech_copy](const Netlist& sized) {
     sim::Simulator s(sized, tech_copy);
     env::MetricMap m;
     m["power"] = s.supply_power();
@@ -95,7 +95,6 @@ env::BenchmarkCircuit make_two_tia(const Technology& tech) {
     // Input-referred current-noise spot density at 100 kHz.
     const auto nr = s.noise({1e5}, vout, 0);
     m["noise"] = detail::input_referred_noise(nr, h, 1e5);
-    (void)in;
     return m;
   };
 

@@ -162,13 +162,11 @@ env::BenchmarkCircuit make_two_volt(const Technology& tech) {
     // guess and Newton skips the gmin/source-stepping ladder. Derived
     // purely from `sized`, so evaluation stays a pure function of it.
     double vg_op = 0.0;
-    double vcmfb_op = 0.0;
     sim::OpPoint cl_op;
     {
       sim::Simulator s(sized, tech_copy);
       cl_op = s.op();
       vg_op = cl_op.node(ga);
-      vcmfb_op = cl_op.node(vcmfb);
       m["power"] = s.supply_power();
       const auto ac = s.ac(freqs);
       const auto h_cl = detail::curve_diff(ac, voa, vob);
@@ -225,7 +223,6 @@ env::BenchmarkCircuit make_two_volt(const Technology& tech) {
       }
       m["cpm"] = meas::phase_margin_deg(t_curve);
     }
-    (void)vcmfb_op;
     return m;
   };
 

@@ -1,0 +1,227 @@
+#include "env/circuit_compile.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "meas/plan.hpp"
+#include "sim/mna.hpp"
+
+namespace gcnrl::env {
+
+namespace {
+
+using circuit::CircuitDescription;
+using circuit::Expr;
+using circuit::Technology;
+
+circuit::Pwl make_pwl(const std::vector<std::pair<Expr, Expr>>& points,
+                      const Technology& tech) {
+  circuit::Pwl p;
+  p.points.reserve(points.size());
+  for (const auto& [t, v] : points) {
+    p.points.emplace_back(t.eval(tech), v.eval(tech));
+  }
+  return p;
+}
+
+int bench_index(const CircuitDescription& d, const std::string& name) {
+  for (std::size_t i = 0; i < d.benches.size(); ++i) {
+    if (d.benches[i].name == name) return static_cast<int>(i);
+  }
+  throw std::runtime_error("compile_circuit: unknown bench \"" + name +
+                           "\"");
+}
+
+const circuit::SourceDesc& source_desc(const CircuitDescription& d,
+                                       const std::string& name) {
+  for (const circuit::SourceDesc& s : d.sources) {
+    if (s.name == name) return s;
+  }
+  throw std::runtime_error("compile_circuit: unknown source \"" + name +
+                           "\"");
+}
+
+int node_id(const circuit::Netlist& nl, const std::string& name) {
+  const std::optional<int> id = nl.find_node(name);
+  if (!id) {
+    throw std::runtime_error("compile_circuit: unknown net \"" + name +
+                             "\"");
+  }
+  return *id;
+}
+
+}  // namespace
+
+BenchmarkCircuit compile_circuit(const CircuitDescription& d,
+                                 const Technology& tech) {
+  BenchmarkCircuit bc;
+  bc.name = d.name;
+  bc.tech = tech;
+
+  // --- netlist: nets in declaration order, elements in file order --------
+  circuit::Netlist& nl = bc.netlist;
+  for (const circuit::NetDesc& n : d.nets) {
+    nl.node(n.name);
+    if (n.supply) nl.mark_supply(n.name);
+  }
+  for (const circuit::ElementRef& ref : d.element_order) {
+    if (ref.is_source) {
+      const circuit::SourceDesc& s =
+          d.sources[static_cast<std::size_t>(ref.index)];
+      const int p = nl.node(s.p);
+      const int n = nl.node(s.n);
+      const double dc = s.dc.eval(tech);
+      const double ac = s.ac.empty() ? 0.0 : s.ac.eval(tech);
+      circuit::Pwl pwl;
+      if (!s.pwl.empty()) pwl = make_pwl(s.pwl, tech);
+      if (s.is_vsource) nl.add_vsource(s.name, p, n, dc, ac, pwl);
+      else nl.add_isource(s.name, p, n, dc, ac, pwl);
+    } else {
+      const circuit::DeviceDesc& dev =
+          d.devices[static_cast<std::size_t>(ref.index)];
+      switch (dev.kind) {
+        case circuit::Kind::Nmos:
+        case circuit::Kind::Pmos: {
+          const int dn = nl.node(dev.nodes[0]);
+          const int gn = nl.node(dev.nodes[1]);
+          const int sn = nl.node(dev.nodes[2]);
+          const int bn = nl.node(dev.nodes[3]);
+          const double w = dev.params[0].eval(tech);
+          const double l = dev.params[1].eval(tech);
+          const int m =
+              static_cast<int>(std::lround(dev.params[2].eval(tech)));
+          if (dev.kind == circuit::Kind::Nmos) {
+            nl.add_nmos(dev.name, dn, gn, sn, bn, w, l, m, dev.designable);
+          } else {
+            nl.add_pmos(dev.name, dn, gn, sn, bn, w, l, m, dev.designable);
+          }
+          break;
+        }
+        case circuit::Kind::Resistor:
+          nl.add_resistor(dev.name, nl.node(dev.nodes[0]),
+                          nl.node(dev.nodes[1]), dev.params[0].eval(tech),
+                          dev.designable);
+          break;
+        case circuit::Kind::Capacitor:
+          nl.add_capacitor(dev.name, nl.node(dev.nodes[0]),
+                           nl.node(dev.nodes[1]), dev.params[0].eval(tech),
+                           dev.designable);
+          break;
+      }
+    }
+  }
+
+  // --- design space: defaults, then bound overrides, then match groups ---
+  bc.space = circuit::DesignSpace::from_netlist(nl, tech);
+  for (const circuit::BoundDesc& b : d.bounds) {
+    const int i = bc.space.find(b.comp);
+    if (i < 0) {
+      throw std::runtime_error("compile_circuit: unknown component \"" +
+                               b.comp + "\"");
+    }
+    circuit::ParamRange& r =
+        bc.space.comp(i).p[static_cast<std::size_t>(b.param)];
+    (b.hi ? r.hi : r.lo) = b.value.eval(tech);
+  }
+  for (const circuit::MatchDesc& m : d.matches) {
+    bc.space.add_match_group(nl, m.comps, m.l_only);
+  }
+
+  // --- FoM table ---------------------------------------------------------
+  for (const circuit::MetricDesc& md : d.metrics) {
+    MetricDef def;
+    def.name = md.name;
+    def.unit = md.unit;
+    def.weight = md.weight;
+    if (md.bound) def.bound = md.bound->eval(tech);
+    if (md.spec_min) def.spec_min = md.spec_min->eval(tech);
+    if (md.spec_max) def.spec_max = md.spec_max->eval(tech);
+    def.log_norm = md.log_norm;
+    bc.fom.metrics.push_back(std::move(def));
+  }
+
+  // --- measurement plan ---------------------------------------------------
+  auto plan = std::make_shared<meas::Plan>();
+  for (const circuit::BenchDesc& b : d.benches) {
+    meas::BenchPlan pb;
+    pb.name = b.name;
+    for (const circuit::SourceSetDesc& set : b.sets) {
+      meas::SourceOverride o;
+      o.is_vsource = source_desc(d, set.source).is_vsource;
+      o.name = set.source;
+      if (set.dc) o.dc = set.dc->eval(tech);
+      if (set.ac) o.ac = set.ac->eval(tech);
+      if (set.pwl) o.pwl = make_pwl(*set.pwl, tech);
+      pb.sets.push_back(std::move(o));
+    }
+    if (b.ac) {
+      pb.ac_freqs = sim::logspace(b.ac->fmin.eval(tech),
+                                  b.ac->fmax.eval(tech), b.ac->npoints);
+    }
+    if (b.noise) {
+      std::vector<double> freqs;
+      freqs.reserve(b.noise->freqs.size());
+      for (const Expr& f : b.noise->freqs) freqs.push_back(f.eval(tech));
+      pb.noise_freqs = std::move(freqs);
+      pb.noise_p = node_id(nl, b.noise->out_p);
+      pb.noise_n = b.noise->out_n.empty() ? 0 : node_id(nl, b.noise->out_n);
+    }
+    if (b.tran) {
+      sim::TranOptions topt;
+      topt.tstop = b.tran->tstop.eval(tech);
+      topt.dt = b.tran->dt.eval(tech);
+      pb.tran = topt;
+    }
+    if (!b.warm_from.empty()) pb.warm_from = bench_index(d, b.warm_from);
+    plan->benches.push_back(std::move(pb));
+  }
+  for (const circuit::ExtractDesc& e : d.extracts) {
+    meas::ExtractPlan pe;
+    pe.metric = e.metric;
+    pe.fn = e.fn;
+    pe.bench = bench_index(d, e.bench);
+    if (!e.probe_p.empty()) pe.probe_p = node_id(nl, e.probe_p);
+    if (!e.probe_n.empty()) pe.probe_n = node_id(nl, e.probe_n);
+    if (e.at_freq) pe.at_freq = e.at_freq->eval(tech);
+    if (e.win_t0) pe.win_t0 = e.win_t0->eval(tech);
+    if (e.win_t1) pe.win_t1 = e.win_t1->eval(tech);
+    if (e.edge) pe.edge = e.edge->eval(tech);
+    if (e.tol) pe.tol = e.tol->eval(tech);
+    plan->extracts.push_back(std::move(pe));
+  }
+
+  // Concurrency audit (EvalService contract on BenchmarkCircuit::evaluate):
+  // the Plan is immutable after compile and shared read-only; the
+  // Technology is a by-value copy; run_plan constructs its Simulators
+  // locally. See meas/plan.hpp.
+  const Technology tech_copy = tech;
+  bc.evaluate = [plan, tech_copy](const circuit::Netlist& sized) {
+    return meas::run_plan(*plan, sized, tech_copy);
+  };
+
+  // --- human-expert sizing, in design-component order ---------------------
+  if (!d.expert.empty()) {
+    circuit::DesignParams p;
+    for (int i = 0; i < nl.num_design_components(); ++i) {
+      const std::string& name = nl.design_name(i);
+      const circuit::ExpertDesc* found = nullptr;
+      for (const circuit::ExpertDesc& e : d.expert) {
+        if (e.comp == name) found = &e;
+      }
+      if (found == nullptr) {
+        throw std::runtime_error(
+            "compile_circuit: expert sizing is missing \"" + name + "\"");
+      }
+      std::array<double, circuit::kMaxActionDim> v{};
+      for (std::size_t j = 0; j < found->values.size(); ++j) {
+        v[j] = found->values[j].eval(tech);
+      }
+      p.v.push_back(v);
+    }
+    bc.human_expert = std::move(p);
+  }
+  return bc;
+}
+
+}  // namespace gcnrl::env

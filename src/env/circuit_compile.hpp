@@ -1,0 +1,22 @@
+// Compiles a parsed .gcir circuit description (circuit::parse_gcir /
+// load_gcir) against a concrete technology node into a runnable
+// env::BenchmarkCircuit — the bridge between the unresolved, Expr-valued
+// description and the resolved meas::Plan its `evaluate` closure
+// interprets.
+#pragma once
+
+#include "circuit/description.hpp"
+#include "env/sizing_env.hpp"
+
+namespace gcnrl::env {
+
+// Builds netlist, design space (+ bound overrides and match groups), FoM
+// table, measurement plan and human-expert sizing from `d`. The returned
+// circuit's `evaluate` closure captures an immutable shared Plan plus a
+// Technology copy and satisfies the EvalService concurrency contract.
+// All name references were resolved by the parser; this only evaluates
+// expressions and translates names to indices.
+BenchmarkCircuit compile_circuit(const circuit::CircuitDescription& d,
+                                 const circuit::Technology& tech);
+
+}  // namespace gcnrl::env

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -551,29 +552,29 @@ TEST(CheckpointStore, StampMismatchFailsLoudly) {
   nn::Linear w("ckpt.w", 2, 2, rng);
   api::CheckpointStore store;
   store.put("art", w.parameters(),
-            {"Two-TIA", "180nm", env::IndexMode::OneHot});
+            {"Two-TIA", "180nm", env::IndexMode::OneHot, ""});
   store.put("art-scalar", w.parameters(),
-            {"Two-TIA", "180nm", env::IndexMode::Scalar});
+            {"Two-TIA", "180nm", env::IndexMode::Scalar, ""});
 
   nn::Linear dst("ckpt.w", 2, 2, rng);
   EXPECT_THROW(store.load("art", dst.parameters(),
-                          {"Two-TIA", "180nm", env::IndexMode::Scalar}),
+                          {"Two-TIA", "180nm", env::IndexMode::Scalar, ""}),
                std::runtime_error);
   EXPECT_THROW(store.load("art", dst.parameters(),
-                          {"Three-TIA", "180nm", env::IndexMode::OneHot}),
+                          {"Three-TIA", "180nm", env::IndexMode::OneHot, ""}),
                std::runtime_error);
   // Cross-node transfer is the headline protocol — allowed.
   EXPECT_EQ(store.load("art", dst.parameters(),
-                       {"Two-TIA", "65nm", env::IndexMode::OneHot}),
+                       {"Two-TIA", "65nm", env::IndexMode::OneHot, ""}),
             2);
   // Cross-topology transfer is the point of scalar mode — allowed.
   EXPECT_EQ(store.load("art-scalar", dst.parameters(),
-                       {"Three-TIA", "65nm", env::IndexMode::Scalar}),
+                       {"Three-TIA", "65nm", env::IndexMode::Scalar, ""}),
             2);
   // A missing artifact lists what the store holds.
   try {
     store.load("no-such-artifact", dst.parameters(),
-               {"Two-TIA", "180nm", env::IndexMode::OneHot});
+               {"Two-TIA", "180nm", env::IndexMode::OneHot, ""});
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& e) {
     const std::string msg = e.what();
@@ -783,7 +784,8 @@ TEST(SpecParser, ReportsPositions) {
 // The shipped example specs stay parseable (they are CI's smoke input).
 TEST(SpecParser, ShippedSpecsParse) {
   for (const char* path : {"/specs/smoke.json", "/specs/custom.json",
-                           "/specs/transfer.json"}) {
+                           "/specs/transfer.json",
+                           "/specs/file_transfer.json"}) {
     const api::TaskFile f =
         api::load_task_spec(std::string(GCNRL_SOURCE_DIR) + path);
     EXPECT_FALSE(f.tasks.empty()) << path;
@@ -796,6 +798,134 @@ TEST(SpecParser, ShippedSpecsParse) {
 TEST(SpecParser, MissingFileThrows) {
   EXPECT_THROW(api::load_task_spec("/no/such/spec.json"),
                std::runtime_error);
+}
+
+
+// ---------------------------------------------------------------------------
+// File-circuit registration (.gcir)
+// ---------------------------------------------------------------------------
+
+std::string shipped(const char* rel) {
+  return std::string(GCNRL_SOURCE_DIR) + rel;
+}
+
+std::string write_temp_gcir(const char* filename, const std::string& body) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / filename).string();
+  std::ofstream f(path);
+  f << body;
+  return path;
+}
+
+TEST(CircuitRegistry, FileCircuitRegistersIdempotently) {
+  const std::string path = shipped("/specs/circuits/two_tia.gcir");
+  const std::string name = api::register_circuit_file(path);
+  EXPECT_EQ(name, "Two-TIA-gcir");
+  EXPECT_TRUE(api::circuit_registered(name));
+  // Re-registering identical content is a no-op, not a collision — spec
+  // files, --circuit flags and repeat passes may all name the same file.
+  EXPECT_EQ(api::register_circuit_file(path), name);
+  // File circuits carry a content fingerprint; C++ builders carry none.
+  EXPECT_EQ(api::circuit_source_tag(name).rfind("gcir:", 0), 0u);
+  EXPECT_EQ(api::circuit_source_tag("Two-TIA"), "");
+  EXPECT_THROW(api::circuit_source_tag("no-such-circuit"),
+               std::invalid_argument);
+  // Builds like a built-in, on any node.
+  const auto bc =
+      api::build_circuit(name, circuit::make_technology("65nm"));
+  EXPECT_EQ(bc.name, name);
+  EXPECT_GT(bc.netlist.num_design_components(), 5);
+}
+
+TEST(CircuitRegistry, FileCircuitCollisionsFailLoudly) {
+  const char* tiny_body_fmt =
+      "supply vdd\nnet a\n"
+      "vsource V a 0 dc=%s\n"
+      "nmos M1 a a 0 0 w=1u l=lmin m=1\n"
+      "metric g unit=x weight=1\nbench b\nac b 1k 1M 3\n"
+      "extract g dc_gain bench=b probe=a\n";
+  char body[512];
+  std::snprintf(body, sizeof(body), tiny_body_fmt, "1");
+
+  // A declared name owned by a C++ builder.
+  const std::string clash = write_temp_gcir(
+      "gcnrl_clash.gcir", std::string("circuit Two-TIA\n") + body);
+  EXPECT_THROW(api::register_circuit_file(clash), std::invalid_argument);
+
+  // Same declared name, different content: also a collision.
+  const std::string first = write_temp_gcir(
+      "gcnrl_dup_a.gcir", std::string("circuit Dup-Check\n") + body);
+  EXPECT_EQ(api::register_circuit_file(first), "Dup-Check");
+  std::snprintf(body, sizeof(body), tiny_body_fmt, "2");
+  const std::string second = write_temp_gcir(
+      "gcnrl_dup_b.gcir", std::string("circuit Dup-Check\n") + body);
+  EXPECT_THROW(api::register_circuit_file(second), std::invalid_argument);
+
+  // Unreadable path and malformed content fail with context.
+  EXPECT_THROW(api::register_circuit_file("/no/such/file.gcir"),
+               std::invalid_argument);
+  const std::string broken =
+      write_temp_gcir("gcnrl_broken.gcir", "circuit X\nfrobnicate\n");
+  EXPECT_THROW(api::register_circuit_file(broken), std::runtime_error);
+}
+
+TEST(SpecParser, BindsCircuitFileAndResolvesRelativePaths) {
+  const api::TaskFile f = api::parse_task_spec(R"({"tasks": [
+    {"circuit_file": "circuits/two_tia.gcir", "method": "GCN-RL"}]})");
+  ASSERT_EQ(f.tasks.size(), 1u);
+  EXPECT_EQ(f.tasks[0].circuit_file, "circuits/two_tia.gcir");
+  EXPECT_TRUE(f.tasks[0].circuit.empty());
+  // A task needs "circuit" or "circuit_file".
+  EXPECT_THROW(api::parse_task_spec(R"({"tasks": [{"method": "ES"}]})"),
+               std::runtime_error);
+  // load_task_spec resolves relative circuit_file paths against the spec
+  // file's directory, so shipped specs work from any cwd.
+  const api::TaskFile shipped_spec =
+      api::load_task_spec(shipped("/specs/file_transfer.json"));
+  ASSERT_FALSE(shipped_spec.tasks.empty());
+  EXPECT_EQ(shipped_spec.tasks[0].circuit_file,
+            shipped("/specs/circuits/two_tia.gcir"));
+}
+
+// The ISSUE's transfer chain in miniature: pretrain on a file-loaded
+// circuit, transfer to a (cheap, built-in-style) registered circuit under
+// scalar indexing, and require thread-count invariance of every byte.
+TEST(RunTasks, FileCircuitTopologyTransferIsThreadInvariant) {
+  api::TaskSpec pre;
+  pre.circuit_file = shipped("/specs/circuits/two_tia.gcir");
+  pre.method = "GCN-RL";
+  pre.steps = 5;
+  pre.warmup = 2;
+  pre.seeds = 1;
+  pre.label = "pre-file";
+  pre.index_mode = env::IndexMode::Scalar;
+  api::TaskSpec post = synthetic_task("GCN-RL", 5, 1);
+  post.warmup = 2;
+  post.index_mode = env::IndexMode::Scalar;
+  post.pretrain_from = "pre-file";
+
+  const auto serial = api::run_tasks({pre, post}, tiny_options(1));
+  const auto pooled = api::run_tasks({pre, post}, tiny_options(4));
+  ASSERT_EQ(serial.size(), 2u);
+  // The declared name replaced the empty circuit tag during validation.
+  EXPECT_EQ(serial[0].spec.circuit, "Two-TIA-gcir");
+  ASSERT_EQ(pooled.size(), 2u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].best, pooled[i].best);
+    EXPECT_EQ(serial[i].sims, pooled[i].sims);
+    for (std::size_t s = 0; s < serial[i].runs.size(); ++s) {
+      EXPECT_EQ(serial[i].runs[s].best_trace, pooled[i].runs[s].best_trace);
+    }
+  }
+}
+
+TEST(RunTasks, CircuitFileNameMismatchFailsLoudly) {
+  api::TaskSpec t;
+  t.circuit = "Two-TIA";  // declared name is Two-TIA-gcir
+  t.circuit_file = shipped("/specs/circuits/two_tia.gcir");
+  t.method = "Human";
+  t.steps = 1;
+  EXPECT_THROW(api::run_tasks({t}, tiny_options()), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,7 +2,12 @@
 // technology library and design-space refinement.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "circuit/design_space.hpp"
+#include "circuit/expr.hpp"
+#include "circuit/gcir.hpp"
 #include "circuit/graph.hpp"
 #include "circuit/netlist.hpp"
 #include "circuit/tech.hpp"
@@ -285,4 +290,155 @@ TEST(DesignSpace, ApplyWritesNetlist) {
   EXPECT_DOUBLE_EQ(nl.mosfets()[0].w, p.v[0][0]);
   EXPECT_DOUBLE_EQ(nl.resistors()[0].r, p.v[2][0]);
   EXPECT_DOUBLE_EQ(nl.capacitors()[0].c, p.v[3][0]);
+}
+
+// --- source lookup / Pwl edge cases ---------------------------------------
+
+TEST(Netlist, FindSourcesHitAndMiss) {
+  circuit::Netlist nl = tiny_netlist();
+  nl.add_isource("ib", nl.node("vdd"), nl.node("n1"), 10e-6);
+  ASSERT_NE(nl.find_vsource("vsup"), nullptr);
+  EXPECT_DOUBLE_EQ(nl.find_vsource("vsup")->dc, 1.8);
+  ASSERT_NE(nl.find_isource("ib"), nullptr);
+  EXPECT_DOUBLE_EQ(nl.find_isource("ib")->dc, 10e-6);
+  // Misses return null rather than throwing — and never cross kinds.
+  EXPECT_EQ(nl.find_vsource("nope"), nullptr);
+  EXPECT_EQ(nl.find_isource("nope"), nullptr);
+  EXPECT_EQ(nl.find_vsource("ib"), nullptr);
+  EXPECT_EQ(nl.find_isource("vsup"), nullptr);
+}
+
+TEST(Pwl, SinglePointHoldsEverywhere) {
+  circuit::Pwl pwl{{{1.0, 5.0}}};
+  EXPECT_DOUBLE_EQ(pwl.at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(pwl.at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(pwl.at(42.0), 5.0);
+}
+
+// --- sizing expressions ----------------------------------------------------
+
+TEST(Expr, SiSuffixesAreBitExact) {
+  const auto tech = circuit::make_technology("180nm");
+  // Suffix expansion is textual ("50u" -> strtod("50e-6")), so literals
+  // must equal the same C++ source literal bit for bit.
+  EXPECT_EQ(circuit::Expr::parse("50u").eval(tech), 50e-6);
+  EXPECT_EQ(circuit::Expr::parse("100G").eval(tech), 1e11);
+  EXPECT_EQ(circuit::Expr::parse("18m").eval(tech), 18e-3);
+  EXPECT_EQ(circuit::Expr::parse("200p").eval(tech), 200e-12);
+  EXPECT_EQ(circuit::Expr::parse("100f").eval(tech), 100e-15);
+  EXPECT_EQ(circuit::Expr::parse("-0.5").eval(tech), -0.5);
+}
+
+TEST(Expr, SymbolsAndPrecedenceMatchBuilders) {
+  const auto tech = circuit::make_technology("65nm");
+  EXPECT_EQ(circuit::Expr::parse("vdd").eval(tech), tech.vdd);
+  EXPECT_EQ(circuit::Expr::parse("2*lmin").eval(tech), 2 * tech.lmin);
+  // The exact multiply/divide sequence of `50e-6 * (tech.vdd / 1.8)`.
+  EXPECT_EQ(circuit::Expr::parse("50u*(vdd/1.8)").eval(tech),
+            50e-6 * (tech.vdd / 1.8));
+  // Left-associativity: a-b+c, not a-(b+c).
+  EXPECT_EQ(circuit::Expr::parse("4-2+1").eval(tech), 3.0);
+}
+
+TEST(Expr, MalformedInputsThrowWithOffset) {
+  EXPECT_THROW(circuit::Expr::parse(""), std::invalid_argument);
+  EXPECT_THROW(circuit::Expr::parse("2*"), std::invalid_argument);
+  EXPECT_THROW(circuit::Expr::parse("(1+2"), std::invalid_argument);
+  EXPECT_THROW(circuit::Expr::parse("bogus"), std::invalid_argument);
+  try {
+    circuit::Expr::parse("1+@");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- .gcir parser ----------------------------------------------------------
+
+namespace {
+
+// A minimal valid description used as the mutation base below.
+const char* kTinyGcir =
+    "circuit Tiny\n"
+    "supply vdd\n"
+    "net a out\n"
+    "vsource VDD vdd 0 dc=vdd\n"
+    "vsource VIN a 0 dc=0.5 ac=1\n"
+    "nmos M1 out a 0 0 w=10u l=lmin m=1\n"
+    "resistor RL out vdd r=10k\n"
+    "metric gain unit=V/V weight=1 log\n"
+    "bench main\n"
+    "ac main 1k 1G 11\n"
+    "extract gain dc_gain bench=main probe=out\n";
+
+// Parses `text` expecting failure; asserts the diagnostic carries the
+// given "line:column" position and message fragment.
+void expect_gcir_error(const std::string& text, const std::string& pos,
+                       const std::string& fragment) {
+  try {
+    circuit::parse_gcir(text);
+    FAIL() << "expected parse error (" << fragment << ")";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<string>:" + pos), std::string::npos) << what;
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+
+TEST(Gcir, ParsesMinimalDescription) {
+  const circuit::CircuitDescription d = circuit::parse_gcir(kTinyGcir);
+  EXPECT_EQ(d.name, "Tiny");
+  ASSERT_EQ(d.nets.size(), 3u);  // vdd, a, out (ground is implicit)
+  EXPECT_EQ(d.sources.size(), 2u);
+  EXPECT_EQ(d.devices.size(), 2u);
+  ASSERT_EQ(d.metrics.size(), 1u);
+  EXPECT_EQ(d.metrics[0].unit, "V/V");
+  EXPECT_TRUE(d.metrics[0].log_norm);
+  ASSERT_EQ(d.benches.size(), 1u);
+  ASSERT_TRUE(d.benches[0].ac.has_value());
+  EXPECT_EQ(d.benches[0].ac->npoints, 11);
+  ASSERT_EQ(d.extracts.size(), 1u);
+  EXPECT_EQ(d.extracts[0].fn, circuit::ExtractFn::DcGain);
+}
+
+TEST(Gcir, DiagnosticsCarryLineAndColumn) {
+  // Line 1 must open with the circuit directive.
+  expect_gcir_error("net a\ncircuit X\n", "1:1", "first directive");
+  // Unknown directive, with position at the directive token.
+  expect_gcir_error("circuit X\nfrobnicate a b\n", "2:1",
+                    "unknown directive \"frobnicate\"");
+  // Undeclared net in a device line: position of the net token.
+  expect_gcir_error(
+      "circuit X\nsupply vdd\nnmos M1 out g 0 0 w=1u l=lmin m=1\n", "3:9",
+      "undeclared net \"out\"");
+  // Malformed expression inside a key=value.
+  expect_gcir_error(
+      "circuit X\nsupply vdd\nnet a\nvsource V a 0 dc=1++2\n", "4:15",
+      "unexpected character '+'");
+  // Unknown key lists the known set.
+  expect_gcir_error(std::string(kTinyGcir) + "tran main tstep=1u dt=1n\n",
+                    "12:11", "known: tstop, dt");
+}
+
+TEST(Gcir, WholeFileInvariantsFailLoudly) {
+  // Duplicate metric.
+  expect_gcir_error(std::string(kTinyGcir) +
+                        "metric gain unit=V/V weight=1\n",
+                    "12:8", "duplicate metric");
+  // A FoM metric nothing extracts.
+  expect_gcir_error(
+      "circuit X\nsupply vdd\nnet a\n"
+      "vsource V a 0 dc=1\n"
+      "nmos M1 a a 0 0 w=1u l=lmin m=1\n"
+      "metric gain unit=V/V weight=1\n",
+      "6:1", "no extract producing it");
+  // Partial expert sizing points at the uncovered component's line.
+  expect_gcir_error(std::string(kTinyGcir) + "expert M1 10u lmin 1\n",
+                    "7:1", "expert sizing is incomplete: missing \"RL\"");
+  // warm= must reference an earlier bench.
+  expect_gcir_error(std::string(kTinyGcir) + "warm main from=main\n",
+                    "12:11", "earlier bench");
 }

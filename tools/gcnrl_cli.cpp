@@ -242,8 +242,12 @@ void print_list() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--repeat N] [--csv PREFIX] <spec.json>\n"
+               "usage: %s [--repeat N] [--csv PREFIX] [--circuit FILE]... "
+               "<spec.json>\n"
                "       %s --list\n"
+               "--circuit registers a .gcir circuit description before the "
+               "spec runs\n(repeatable; spec files can also register their "
+               "own via \"circuit_file\").\n"
                "Spec schema: src/api/spec.hpp (see also specs/*.json and "
                "README \"Public API\").\n",
                argv0, argv0);
@@ -255,6 +259,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string spec_path;
   std::string csv_prefix;
+  std::vector<std::string> circuit_files;
   int repeat = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -269,6 +274,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--csv") {
       if (i + 1 >= argc) return usage(argv[0]);
       csv_prefix = argv[++i];
+    } else if (arg == "--circuit") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      circuit_files.emplace_back(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else if (spec_path.empty()) {
@@ -280,6 +288,12 @@ int main(int argc, char** argv) {
   if (spec_path.empty()) return usage(argv[0]);
 
   try {
+    // File circuits first, so the spec's validation pass can address them
+    // by their declared names just like built-ins.
+    for (const std::string& file : circuit_files) {
+      std::printf("registered circuit \"%s\" from %s\n",
+                  api::register_circuit_file(file).c_str(), file.c_str());
+    }
     const api::TaskFile spec = api::load_task_spec(spec_path);
     api::RunOptions opts = spec.options;
     // One service for every pass: pass 2+ run on a fully warmed cache,
