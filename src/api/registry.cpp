@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "circuit/analyze.hpp"
 #include "circuit/gcir.hpp"
 #include "env/circuit_compile.hpp"
 #include "opt/bayes_opt.hpp"
@@ -191,9 +192,22 @@ std::string register_circuit_file(const std::string& path) {
   const std::string tag = fnv1a_source_tag(text);
   auto desc = std::make_shared<const circuit::CircuitDescription>(
       circuit::parse_gcir(text, path));
-  // Compile probe: surface description-level problems (and most numeric
-  // ones) at registration time, with the file as context, instead of at
-  // the first task that builds the circuit.
+  // Admission control: run the semantic analyzer before spending anything
+  // on the circuit. Errors reject the registration with the full
+  // diagnostic list; warnings are surfaced on stderr and let it through.
+  const std::vector<circuit::Diagnostic> diags =
+      circuit::analyze_circuit(*desc, circuit::make_technology("180nm"));
+  if (circuit::has_errors(diags)) {
+    throw std::runtime_error("register_circuit_file: circuit \"" +
+                             desc->name + "\" failed lint:\n" +
+                             circuit::format_diagnostics(diags));
+  }
+  for (const circuit::Diagnostic& diag : diags) {
+    std::fprintf(stderr, "%s\n", diag.format().c_str());
+  }
+  // Compile probe: surface the residual description-level problems (and
+  // most numeric ones) at registration time, with the file as context,
+  // instead of at the first task that builds the circuit.
   (void)env::compile_circuit(*desc, circuit::make_technology("180nm"));
 
   CircuitReg& reg = circuit_reg();

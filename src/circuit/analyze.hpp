@@ -1,0 +1,85 @@
+// Circuit semantic analyzer: static admission control for circuit
+// descriptions, run before a single simulation is spent.
+//
+// analyze_circuit() walks a parsed (or hand-built) CircuitDescription and
+// reports everything the parser's purely syntactic/name-resolution pass
+// cannot see — structural problems that would otherwise surface deep in
+// the MNA engine as a cryptic singular-matrix failure, or silently as a
+// wasted simulation budget:
+//
+//   connectivity.*  — graph problems: element terminals on undeclared
+//                     nets, declared-but-unused nets, single-terminal
+//                     (dangling) nets, element islands with no connection
+//                     to ground, and net groups with no DC-conductive
+//                     path to ground (DC conduction: resistors, voltage
+//                     sources, MOS channels; capacitors and MOS gates
+//                     block DC — matching the simulator's stamps);
+//   singular.*      — topologies that guarantee a singular (or gmin-
+//                     regularized garbage) MNA system by construction:
+//                     voltage-source loops and current sources driving
+//                     net groups with no DC return path (cutsets);
+//   sizing.*        — design-space problems: no designable components,
+//                     bound overrides that invert (lo >= hi) or leave a
+//                     non-positive log-scaled range, match groups mixing
+//                     component kinds, l_only groups of passives, expert
+//                     sizings that are incomplete or outside bounds;
+//   plan.*          — measurement-plan problems: empty FoM tables, FoM
+//                     metrics nothing extracts, produced metrics nothing
+//                     consumes, degenerate AC/noise/tran configs, benches
+//                     that are never measured, off-grid noise spots.
+//
+// Every Diagnostic carries a severity, a stable check id (the strings
+// above; see analyzer_checks() for the catalog), a human message, and the
+// origin:line:column of the offending construct. Errors reject a circuit
+// at registration (api::register_circuit_file) and in gcnrl_lint;
+// warnings are advisory and can be suppressed per-file with a
+//   #lint: allow CHECK-ID
+// pragma line (errors are never suppressible). Numeric checks (bounds,
+// sweeps) evaluate Exprs against the given technology node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/description.hpp"
+#include "circuit/tech.hpp"
+
+namespace gcnrl::circuit {
+
+enum class Severity { Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string check;    // stable id, e.g. "singular.vsource-loop"
+  std::string message;
+  std::string origin;   // source label ("" when the description has none)
+  int line = 0;
+  int col = 0;
+  // "<origin>:<line>:<col>: error: <message> [<check>]"
+  [[nodiscard]] std::string format() const;
+};
+
+// One row of the check catalog (stable id, default severity, summary) —
+// the README table and gcnrl_lint --checks are rendered from this.
+struct CheckInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+const std::vector<CheckInfo>& analyzer_checks();
+
+// Runs every check against `d`, evaluating sizing/plan expressions at
+// `tech`. Returns diagnostics in deterministic order (check-category
+// major, declaration order minor), with warnings already filtered by the
+// description's lint_allows pragmas. Never throws on a malformed
+// description — unresolvable names become connectivity/plan diagnostics.
+std::vector<Diagnostic> analyze_circuit(const CircuitDescription& d,
+                                        const Technology& tech);
+
+[[nodiscard]] bool has_errors(const std::vector<Diagnostic>& diags);
+
+// All diagnostics rendered one per line (trailing newline included;
+// "" for an empty list).
+std::string format_diagnostics(const std::vector<Diagnostic>& diags);
+
+}  // namespace gcnrl::circuit

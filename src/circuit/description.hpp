@@ -37,6 +37,7 @@ struct DeviceDesc {
   std::array<Expr, kMaxActionDim> params;
   bool designable = true;
   int line = 0;
+  int col = 1;
 };
 
 // Independent V/I source with optional AC magnitude and PWL waveform.
@@ -48,6 +49,7 @@ struct SourceDesc {
   Expr ac;                                   // empty = 0
   std::vector<std::pair<Expr, Expr>> pwl;    // (time, value) pairs
   int line = 0;
+  int col = 1;
 };
 
 // File-order element sequence: index into `devices` or `sources`.
@@ -59,6 +61,8 @@ struct ElementRef {
 struct NetDesc {
   std::string name;
   bool supply = false;
+  int line = 0;
+  int col = 1;
 };
 
 // Search-range override: `bound T6 w.hi=wmax` tightens/widens one side of
@@ -69,12 +73,14 @@ struct BoundDesc {
   bool hi = true;     // which side of the range
   Expr value;
   int line = 0;
+  int col = 1;
 };
 
 struct MatchDesc {
   std::vector<std::string> comps;
   bool l_only = false;
   int line = 0;
+  int col = 1;
 };
 
 // One row of the FoM metric table (env::MetricDef with Expr bounds).
@@ -87,6 +93,7 @@ struct MetricDesc {
   std::optional<Expr> spec_max;
   bool log_norm = false;
   int line = 0;
+  int col = 1;
 };
 
 // Human-expert sizing for one component (3 values for MOS, 1 for R/C).
@@ -94,6 +101,7 @@ struct ExpertDesc {
   std::string comp;
   std::vector<Expr> values;
   int line = 0;
+  int col = 1;
 };
 
 // --- declarative measurement plan (unresolved) -----------------------------
@@ -106,21 +114,28 @@ struct SourceSetDesc {
   std::optional<Expr> ac;
   std::optional<std::vector<std::pair<Expr, Expr>>> pwl;
   int line = 0;
+  int col = 1;
 };
 
 struct AcSweepDesc {
   Expr fmin, fmax;
   int npoints = 0;
+  int line = 0;
+  int col = 1;
 };
 
 struct NoiseDesc {
   std::vector<Expr> freqs;
   std::string out_p;
   std::string out_n;  // empty = ground
+  int line = 0;
+  int col = 1;
 };
 
 struct TranDesc {
   Expr tstop, dt;
+  int line = 0;
+  int col = 1;
 };
 
 // One testbench: a (possibly source-overridden) copy of the sized netlist
@@ -134,6 +149,7 @@ struct BenchDesc {
   std::optional<TranDesc> tran;
   std::string warm_from;  // earlier bench whose DC op seeds this one
   int line = 0;
+  int col = 1;
 };
 
 // Measurement vocabulary (meas::run_plan implements each of these).
@@ -156,12 +172,26 @@ struct ExtractDesc {
   std::optional<Expr> at_freq;                  // InputNoise
   std::optional<Expr> win_t0, win_t1, edge, tol;  // SettlingTime
   int line = 0;
+  int col = 1;
 };
 
 // --- the description -------------------------------------------------------
 
+// Warning suppression, from a "#lint: allow CHECK-ID" pragma line. Only
+// warnings are suppressible; circuit::analyze_circuit ignores allows that
+// name error-severity checks (see analyze.hpp).
+struct LintAllowDesc {
+  std::string check;
+  int line = 0;
+  int col = 1;
+};
+
 struct CircuitDescription {
   std::string name;
+  std::string origin;               // diagnostic source label ("<string>",
+                                    // or the .gcir path it was loaded from)
+  int name_line = 1;                // position of the "circuit" directive
+  int name_col = 1;
   std::vector<NetDesc> nets;        // declaration order = node-id order
   std::vector<DeviceDesc> devices;
   std::vector<SourceDesc> sources;
@@ -172,6 +202,7 @@ struct CircuitDescription {
   std::vector<ExpertDesc> expert;
   std::vector<BenchDesc> benches;
   std::vector<ExtractDesc> extracts;
+  std::vector<LintAllowDesc> lint_allows;
 };
 
 }  // namespace gcnrl::circuit

@@ -37,6 +37,7 @@ class GcirParser {
       : text_(text), origin_(std::move(origin)) {}
 
   CircuitDescription run() {
+    d_.origin = origin_;
     std::size_t pos = 0;
     int line_no = 0;
     while (pos <= text_.size()) {
@@ -89,14 +90,23 @@ class GcirParser {
     if (kv.value.empty()) {
       fail(line, kv.col, "\"" + kv.key + "\" needs a value");
     }
-    return parse_expr_text(line, kv.col, kv.value);
+    // Column of the value itself, past "key=".
+    return parse_expr_text(
+        line, kv.col + static_cast<int>(kv.key.size()) + 1, kv.value);
   }
 
   Expr parse_expr_text(int line, int col, const std::string& text) const {
     try {
       return Expr::parse(text);
     } catch (const std::invalid_argument& e) {
-      fail(line, col, e.what());
+      // Expr::parse reports "... at offset N: ..."; shift the column to
+      // the offending character inside the token.
+      const std::string what = e.what();
+      const std::string tag = " at offset ";
+      const std::size_t p = what.find(tag);
+      const int off =
+          p == std::string::npos ? 0 : std::atoi(what.c_str() + p + tag.size());
+      fail(line, col + off, what);
     }
   }
 
@@ -216,7 +226,39 @@ class GcirParser {
 
   // --- directives --------------------------------------------------------
 
+  // "#lint: allow CHECK-ID" pragmas ride inside comments (so the file
+  // stays valid for comment-stripping tools); intercept them before
+  // tokenize() drops everything after '#'.
+  bool parse_lint_pragma(const std::string& line, int line_no) {
+    const std::size_t at = line.find_first_not_of(" \t");
+    if (at == std::string::npos || line.compare(at, 6, "#lint:") != 0) {
+      return false;
+    }
+    std::vector<Token> toks;
+    std::size_t i = at + 6;
+    while (i < line.size()) {
+      if (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+        ++i;
+        continue;
+      }
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+             line[i] != '\r') {
+        ++i;
+      }
+      toks.push_back({line.substr(start, i - start),
+                      static_cast<int>(start) + 1});
+    }
+    if (toks.size() != 2 || toks[0].text != "allow") {
+      fail(line_no, static_cast<int>(at) + 1,
+           "lint pragma: expected \"#lint: allow CHECK-ID\"");
+    }
+    d_.lint_allows.push_back({toks[1].text, line_no, toks[1].col});
+    return true;
+  }
+
   void parse_line(const std::string& line, int line_no) {
+    if (parse_lint_pragma(line, line_no)) return;
     const std::vector<Token> toks = tokenize(line);
     if (toks.empty()) return;
     const std::string& dir = toks[0].text;
@@ -258,6 +300,8 @@ class GcirParser {
       fail(line, toks[2].col, "\"circuit\" takes exactly one name");
     }
     d_.name = toks[1].text;
+    d_.name_line = line;
+    d_.name_col = toks[0].col;
   }
 
   void parse_nets(int line, const std::vector<Token>& toks) {
@@ -271,7 +315,7 @@ class GcirParser {
       if (net_declared(toks[i].text)) {
         fail(line, toks[i].col, "duplicate net \"" + toks[i].text + "\"");
       }
-      d_.nets.push_back({toks[i].text, supply});
+      d_.nets.push_back({toks[i].text, supply, line, toks[i].col});
     }
   }
 
@@ -282,6 +326,7 @@ class GcirParser {
     s.is_vsource = toks[0].text == "vsource";
     s.name = toks[1].text;
     s.line = line;
+    s.col = toks[0].col;
     require_unique_element(line, toks[1]);
     require_net(line, toks[2]);
     require_net(line, toks[3]);
@@ -316,6 +361,7 @@ class GcirParser {
     dev.kind = toks[0].text == "nmos" ? Kind::Nmos : Kind::Pmos;
     dev.name = toks[1].text;
     dev.line = line;
+    dev.col = toks[0].col;
     require_unique_element(line, toks[1]);
     for (std::size_t i = 2; i < 6; ++i) {
       require_net(line, toks[i]);
@@ -356,6 +402,7 @@ class GcirParser {
     dev.kind = is_r ? Kind::Resistor : Kind::Capacitor;
     dev.name = toks[1].text;
     dev.line = line;
+    dev.col = toks[0].col;
     require_unique_element(line, toks[1]);
     require_net(line, toks[2]);
     require_net(line, toks[3]);
@@ -395,6 +442,7 @@ class GcirParser {
     BoundDesc b;
     b.comp = dev.name;
     b.line = line;
+    b.col = toks[2].col;
     const bool mos = dev.kind == Kind::Nmos || dev.kind == Kind::Pmos;
     if (mos && param == "w") b.param = 0;
     else if (mos && param == "l") b.param = 1;
@@ -417,6 +465,7 @@ class GcirParser {
     need_args(line, toks, 3, "match COMP COMP... [l_only]");
     MatchDesc m;
     m.line = line;
+    m.col = toks[0].col;
     std::size_t last = toks.size();
     if (toks.back().text == "l_only") {
       m.l_only = true;
@@ -458,6 +507,7 @@ class GcirParser {
     MetricDesc m;
     m.name = toks[1].text;
     m.line = line;
+    m.col = toks[0].col;
     for (const MetricDesc& prev : d_.metrics) {
       if (prev.name == m.name) {
         fail(line, toks[1].col, "duplicate metric \"" + m.name + "\"");
@@ -504,6 +554,7 @@ class GcirParser {
     ExpertDesc e;
     e.comp = dev.name;
     e.line = line;
+    e.col = toks[0].col;
     const int want = action_dim(dev.kind);
     if (static_cast<int>(toks.size()) - 2 != want) {
       fail(line, toks[0].col,
@@ -527,6 +578,7 @@ class GcirParser {
     BenchDesc b;
     b.name = toks[1].text;
     b.line = line;
+    b.col = toks[0].col;
     d_.benches.push_back(std::move(b));
   }
 
@@ -540,6 +592,7 @@ class GcirParser {
     SourceSetDesc set;
     set.source = toks[2].text;
     set.line = line;
+    set.col = toks[0].col;
     for (std::size_t i = 3; i < toks.size(); ++i) {
       const KeyValue kv = split_kv(toks[i]);
       if (kv.key == "dc") set.dc = parse_expr(line, kv);
@@ -558,6 +611,8 @@ class GcirParser {
            "bench \"" + bench.name + "\" already has an ac sweep");
     }
     AcSweepDesc sweep;
+    sweep.line = line;
+    sweep.col = toks[0].col;
     sweep.fmin = parse_expr_text(line, toks[2].col, toks[2].text);
     sweep.fmax = parse_expr_text(line, toks[3].col, toks[3].text);
     char* end = nullptr;
@@ -578,6 +633,8 @@ class GcirParser {
            "bench \"" + bench.name + "\" already has a noise analysis");
     }
     NoiseDesc noise;
+    noise.line = line;
+    noise.col = toks[0].col;
     bool have_out = false;
     for (std::size_t i = 2; i < toks.size(); ++i) {
       const KeyValue kv = split_kv(toks[i]);
@@ -614,6 +671,8 @@ class GcirParser {
            "bench \"" + bench.name + "\" already has a tran analysis");
     }
     TranDesc tran;
+    tran.line = line;
+    tran.col = toks[0].col;
     bool have_tstop = false, have_dt = false;
     for (std::size_t i = 2; i < toks.size(); ++i) {
       const KeyValue kv = split_kv(toks[i]);
@@ -661,6 +720,7 @@ class GcirParser {
     ExtractDesc e;
     e.metric = toks[1].text;
     e.line = line;
+    e.col = toks[0].col;
     for (const ExtractDesc& prev : d_.extracts) {
       if (prev.metric == e.metric) {
         fail(line, toks[1].col,
@@ -758,48 +818,13 @@ class GcirParser {
 
   // --- whole-file invariants ---------------------------------------------
 
+  // Only the structural minimum lives here; the semantic whole-file
+  // invariants (designable components exist, FoM metrics are declared and
+  // produced, expert sizing is complete) moved to circuit::analyze_circuit
+  // so they report as structured diagnostics alongside the graph checks.
   void finish(int last_line) const {
     if (d_.name.empty()) {
       fail(last_line, 1, "missing \"circuit NAME\" directive");
-    }
-    bool any_designable = false;
-    for (const DeviceDesc& dev : d_.devices) {
-      any_designable = any_designable || dev.designable;
-    }
-    if (!any_designable) {
-      fail(last_line, 1,
-           "circuit \"" + d_.name + "\" has no designable components");
-    }
-    if (d_.metrics.empty()) {
-      fail(last_line, 1,
-           "circuit \"" + d_.name + "\" declares no FoM metrics");
-    }
-    // Every FoM metric must be measurable, or evaluation could never pass
-    // the spec check (a missing metric is treated as a failed design).
-    for (const MetricDesc& m : d_.metrics) {
-      bool produced = false;
-      for (const ExtractDesc& e : d_.extracts) {
-        produced = produced || e.metric == m.name;
-      }
-      if (!produced) {
-        fail(m.line, 1,
-             "metric \"" + m.name + "\" has no extract producing it");
-      }
-    }
-    // Expert sizing is optional as a whole but all-or-nothing: a partial
-    // sizing would silently zero the remaining components.
-    if (!d_.expert.empty()) {
-      for (const DeviceDesc& dev : d_.devices) {
-        if (!dev.designable) continue;
-        bool covered = false;
-        for (const ExpertDesc& e : d_.expert) {
-          covered = covered || e.comp == dev.name;
-        }
-        if (!covered) {
-          fail(dev.line, 1,
-               "expert sizing is incomplete: missing \"" + dev.name + "\"");
-        }
-      }
     }
   }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "circuit/analyze.hpp"
 #include "circuit/design_space.hpp"
 #include "circuit/expr.hpp"
 #include "circuit/gcir.hpp"
@@ -414,9 +415,10 @@ TEST(Gcir, DiagnosticsCarryLineAndColumn) {
   expect_gcir_error(
       "circuit X\nsupply vdd\nnmos M1 out g 0 0 w=1u l=lmin m=1\n", "3:9",
       "undeclared net \"out\"");
-  // Malformed expression inside a key=value.
+  // Malformed expression inside a key=value: the column lands on the
+  // offending character inside the value, not the token start.
   expect_gcir_error(
-      "circuit X\nsupply vdd\nnet a\nvsource V a 0 dc=1++2\n", "4:15",
+      "circuit X\nsupply vdd\nnet a\nvsource V a 0 dc=1++2\n", "4:20",
       "unexpected character '+'");
   // Unknown key lists the known set.
   expect_gcir_error(std::string(kTinyGcir) + "tran main tstep=1u dt=1n\n",
@@ -428,17 +430,40 @@ TEST(Gcir, WholeFileInvariantsFailLoudly) {
   expect_gcir_error(std::string(kTinyGcir) +
                         "metric gain unit=V/V weight=1\n",
                     "12:8", "duplicate metric");
-  // A FoM metric nothing extracts.
-  expect_gcir_error(
-      "circuit X\nsupply vdd\nnet a\n"
-      "vsource V a 0 dc=1\n"
-      "nmos M1 a a 0 0 w=1u l=lmin m=1\n"
-      "metric gain unit=V/V weight=1\n",
-      "6:1", "no extract producing it");
-  // Partial expert sizing points at the uncovered component's line.
-  expect_gcir_error(std::string(kTinyGcir) + "expert M1 10u lmin 1\n",
-                    "7:1", "expert sizing is incomplete: missing \"RL\"");
   // warm= must reference an earlier bench.
   expect_gcir_error(std::string(kTinyGcir) + "warm main from=main\n",
                     "12:11", "earlier bench");
+}
+
+// The whole-file semantic invariants (unproduced metrics, partial expert
+// sizing) moved from the parser to circuit::analyze_circuit; they now
+// parse fine and come back as positioned analyzer errors instead
+// (test_analyze.cpp pins the full catalog — this guards the handoff).
+TEST(Gcir, MovedInvariantsSurfaceAsAnalyzerErrors) {
+  const circuit::Technology tech = circuit::make_technology("180nm");
+  {
+    const circuit::CircuitDescription d = circuit::parse_gcir(
+        "circuit X\nsupply vdd\nnet a\n"
+        "vsource V a 0 dc=1\n"
+        "nmos M1 a a 0 0 w=1u l=lmin m=1\n"
+        "metric gain unit=V/V weight=1\n");
+    bool found = false;
+    for (const circuit::Diagnostic& diag :
+         circuit::analyze_circuit(d, tech)) {
+      found = found || (diag.check == "plan.metric-unproduced" &&
+                        diag.line == 6 && diag.col == 1);
+    }
+    EXPECT_TRUE(found);
+  }
+  {
+    const circuit::CircuitDescription d = circuit::parse_gcir(
+        std::string(kTinyGcir) + "expert M1 10u lmin 1\n");
+    bool found = false;
+    for (const circuit::Diagnostic& diag :
+         circuit::analyze_circuit(d, tech)) {
+      found = found || (diag.check == "sizing.expert-incomplete" &&
+                        diag.line == 7 && diag.col == 1);
+    }
+    EXPECT_TRUE(found);
+  }
 }

@@ -1,0 +1,157 @@
+// gcnrl_lint: standalone front end for the .gcir semantic analyzer
+// (circuit/analyze.hpp) — the same checks api::register_circuit_file runs
+// at registration, usable on files before submitting them and in CI.
+//
+//   gcnrl_lint [--Werror] [--format=text|json] [--node=NODE] FILE...
+//   gcnrl_lint --checks
+//
+// Exit codes: 0 = all files clean (warnings allowed unless --Werror),
+// 1 = at least one diagnostic rejected a file, 2 = usage or I/O/parse
+// failure. --format=json emits one array of {file, line, col, severity,
+// check, message} objects on stdout for machine consumption; text mode
+// prints compiler-style "<file>:<line>:<col>: <severity>: ..." lines.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "circuit/analyze.hpp"
+#include "circuit/gcir.hpp"
+#include "circuit/tech.hpp"
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<gcnrl::circuit::Diagnostic>& diags) {
+  std::printf("[");
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const gcnrl::circuit::Diagnostic& d = diags[i];
+    std::printf(
+        "%s\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, "
+        "\"severity\": \"%s\", \"check\": \"%s\", \"message\": \"%s\"}",
+        i == 0 ? "" : ",", json_escape(d.origin).c_str(), d.line, d.col,
+        d.severity == gcnrl::circuit::Severity::Error ? "error" : "warning",
+        json_escape(d.check).c_str(), json_escape(d.message).c_str());
+  }
+  std::printf("%s]\n", diags.empty() ? "" : "\n");
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--Werror] [--format=text|json] [--node=NODE] FILE...\n"
+      "       %s --checks        (print the check catalog)\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  bool json = false;
+  std::string node = "180nm";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--Werror") {
+      werror = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg.rfind("--node=", 0) == 0) {
+      node = arg.substr(7);
+    } else if (arg == "--checks") {
+      for (const gcnrl::circuit::CheckInfo& c :
+           gcnrl::circuit::analyzer_checks()) {
+        std::printf("%-28s %-8s %s\n", c.id,
+                    c.severity == gcnrl::circuit::Severity::Error
+                        ? "error"
+                        : "warning",
+                    c.summary);
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown option \"%s\"\n", argv[0],
+                   arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  gcnrl::circuit::Technology tech;
+  try {
+    tech = gcnrl::circuit::make_technology(node);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+
+  std::vector<gcnrl::circuit::Diagnostic> all;
+  bool rejected = false;
+  for (const std::string& file : files) {
+    try {
+      const gcnrl::circuit::CircuitDescription desc =
+          gcnrl::circuit::load_gcir(file);
+      const std::vector<gcnrl::circuit::Diagnostic> diags =
+          gcnrl::circuit::analyze_circuit(desc, tech);
+      for (const gcnrl::circuit::Diagnostic& d : diags) {
+        rejected = rejected ||
+                   d.severity == gcnrl::circuit::Severity::Error || werror;
+        all.push_back(d);
+      }
+    } catch (const std::exception& e) {
+      // Unreadable or syntactically invalid: the parser's own positioned
+      // message, not an analyzer diagnostic.
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (json) {
+    print_json(all);
+  } else {
+    for (const gcnrl::circuit::Diagnostic& d : all) {
+      std::fprintf(stderr, "%s\n", d.format().c_str());
+    }
+    if (!all.empty()) {
+      int errors = 0, warnings = 0;
+      for (const gcnrl::circuit::Diagnostic& d : all) {
+        (d.severity == gcnrl::circuit::Severity::Error ? errors
+                                                       : warnings)++;
+      }
+      std::fprintf(stderr, "%d error(s), %d warning(s)%s\n", errors,
+                   warnings,
+                   werror && errors == 0 && warnings > 0
+                       ? " (warnings rejected by --Werror)"
+                       : "");
+    }
+  }
+  return rejected ? 1 : 0;
+}
